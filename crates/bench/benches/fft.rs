@@ -1,0 +1,50 @@
+//! FFT micro-benchmarks: the transform cost underlying every spectral
+//! convolution and the pseudo-spectral solver step (the Sec. VII cost
+//! discussion's lowest-level ingredient).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_fft::{fft_1d, rfft2, Direction};
+use ft_tensor::{Complex64, Tensor};
+use std::hint::black_box;
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[64usize, 256, 1024] {
+        let signal: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("pow2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = signal.clone();
+                fft_1d(black_box(&mut data), Direction::Forward);
+                data
+            })
+        });
+    }
+    // Non-power-of-two paths: mixed radix (smooth) and Bluestein (prime).
+    for &n in &[60usize, 100, 251] {
+        let signal: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("general", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = signal.clone();
+                fft_1d(black_box(&mut data), Direction::Forward);
+                data
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfft2");
+    for &n in &[32usize, 64, 128, 256] {
+        let field = Tensor::from_fn(&[n, n], |i| ((i[0] * 3 + i[1]) as f64 * 0.17).sin());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| rfft2(black_box(&field)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_rfft2);
+criterion_main!(benches);

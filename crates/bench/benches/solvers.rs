@@ -1,0 +1,62 @@
+//! PDE-solver step benchmarks: the classical-solver side of the Sec. VII
+//! cost comparison ("the PDE solver takes 20 s for 0.025 t_c on a 24-core
+//! EPYC"; here, per-step costs of the three substitutable integrators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_lbm::{IcSpec, Lbm, LbmConfig};
+use ft_ns::{ArakawaNs, PdeSolver, SpectralNs};
+use std::hint::black_box;
+
+fn bench_lbm_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbm_step");
+    group.sample_size(20);
+    for &n in &[64usize, 128] {
+        for entropic in [false, true] {
+            let mut cfg = LbmConfig::with_reynolds(n, 1000.0);
+            cfg.collision = if entropic { ft_lbm::Collision::Entropic } else { ft_lbm::Collision::Bgk };
+            let mut lbm = Lbm::new(cfg);
+            let (ux, uy) = IcSpec::default().generate(n, 0.05, 1);
+            lbm.set_velocity(&ux, &uy);
+            let label = if entropic { format!("entropic_{n}") } else { format!("bgk_{n}") };
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    lbm.step();
+                    black_box(lbm.steps())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ns_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ns_step");
+    group.sample_size(20);
+    for &n in &[64usize, 128] {
+        let (ux, uy) = IcSpec::default().generate(n, 0.05, 2);
+
+        let mut sp = SpectralNs::new(n, n as f64, 0.01);
+        sp.set_velocity(&ux, &uy);
+        let dt = sp.cfl_dt();
+        group.bench_function(BenchmarkId::new("spectral", n), |b| {
+            b.iter(|| {
+                sp.step(dt);
+                black_box(sp.time())
+            })
+        });
+
+        let mut fd = ArakawaNs::new(n, n as f64, 0.01);
+        fd.set_velocity(&ux, &uy);
+        let dtf = fd.cfl_dt();
+        group.bench_function(BenchmarkId::new("arakawa_fd", n), |b| {
+            b.iter(|| {
+                fd.step(dtf);
+                black_box(fd.time())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lbm_step, bench_ns_step);
+criterion_main!(benches);

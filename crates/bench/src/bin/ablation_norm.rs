@@ -1,0 +1,70 @@
+//! Ablation: per-layer instance normalization in the FNO stack.
+//!
+//! The paper's models follow the classic FNO recipe with no normalization
+//! between Fourier layers; modern `neuraloperator` stacks offer one. This
+//! ablation trains the same architecture with and without a per-channel
+//! instance norm after each Fourier layer and compares held-out error and
+//! rollout stability.
+
+use ft_bench::{csv, dataset_pairs, emit_labeled, Knobs, Scale};
+use ft_data::split_components;
+use fno_core::rollout::{frame_errors, rollout};
+use fno_core::{Fno, FnoConfig, TrainConfig, Trainer};
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let (train, test, ds) = dataset_pairs(&knobs, 5);
+
+    let mut w = csv(
+        "ablation_norm.csv",
+        &["variant", "test_error", "rollout_frame10_error", "wall_s"],
+    );
+    for norm in [false, true] {
+        let label = if norm { "with_norm" } else { "without_norm" };
+        let mut cfg = FnoConfig::fno2d(knobs.width, knobs.layers, knobs.modes, 5);
+        cfg.norm = norm;
+        if knobs.grid < 128 {
+            cfg.lifting_channels = 32;
+            cfg.projection_channels = 32;
+        }
+        let model = Fno::new(cfg, 7);
+        let tcfg = TrainConfig {
+            epochs: knobs.epochs,
+            batch_size: 8,
+            lr: knobs.lr,
+            scheduler_gamma: 0.5,
+            scheduler_step: 100,
+            seed: 0,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(model, tcfg);
+        let report = trainer.train(&train, &test);
+        let model = trainer.into_model();
+
+        // Rollout error at frame 10 averaged over held-out trajectories.
+        let flat = split_components(&ds.velocity);
+        let start = knobs.train_samples * 2;
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for s in start..flat.dims()[0] {
+            let traj = flat.index_axis0(s);
+            let hist = traj.slice_axis0(0, 10);
+            let truth = traj.slice_axis0(10, 10);
+            let errs = frame_errors(&rollout(&model, &hist, 10), &truth);
+            acc += errs[9];
+            count += 1;
+        }
+        emit_labeled(
+            &mut w,
+            label,
+            &[report.test_error, acc / count as f64, report.wall_seconds],
+        );
+        eprintln!(
+            "# {label}: one-shot {:.4e}, rollout frame10 {:.4e}",
+            report.test_error,
+            acc / count as f64
+        );
+    }
+    w.flush().unwrap();
+}

@@ -1,0 +1,81 @@
+//! Extension: FNO vs non-neural baselines on the rollout task.
+//!
+//! Sec. IV of the paper insists a data-driven forecast must beat the
+//! trivial predictors before its accuracy means anything. This harness
+//! pits the trained 2D FNO against (a) persistence (predict the last
+//! observed frame forever) and (b) a DMD-style per-mode linear spectral
+//! propagator fitted on the same training data — the strongest linear
+//! competitor on a decaying flow.
+
+use ft_bench::{csv, dataset_pairs, emit_labeled, train_2d, Knobs, Scale};
+use ft_data::split_components;
+use fno_core::baselines::{persistence_rollout, SpectralLinearModel};
+use fno_core::rollout::{frame_errors, rollout};
+use fno_core::TrainConfig;
+use ft_tensor::Tensor;
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let (train, test, ds) = dataset_pairs(&knobs, 5);
+    let tcfg = TrainConfig {
+        epochs: knobs.epochs,
+        batch_size: 8,
+        lr: knobs.lr,
+        scheduler_gamma: 0.5,
+        scheduler_step: 100,
+        seed: 0,
+        ..Default::default()
+    };
+    let (model, report) =
+        train_2d(&knobs, knobs.width, knobs.layers, knobs.modes, 5, &train, &test, tcfg);
+    eprintln!("# FNO one-shot test err {:.4e}", report.test_error);
+
+    // Fit the linear baseline on the same training trajectories.
+    let flat = split_components(&ds.velocity);
+    let train_fields = knobs.train_samples * 2;
+    let train_trajs: Vec<Tensor> =
+        (0..train_fields).map(|s| flat.index_axis0(s)).collect();
+    let linear = SpectralLinearModel::fit(&train_trajs, knobs.modes);
+
+    // Rollout comparison on held-out trajectories.
+    let horizon = 10usize;
+    let total = flat.dims()[0];
+    let mut acc = vec![[0.0f64; 3]; horizon]; // [fno, persistence, linear]
+    let mut count = 0usize;
+    for s in train_fields..total {
+        let traj = flat.index_axis0(s);
+        let hist = traj.slice_axis0(0, 10);
+        let truth = traj.slice_axis0(10, horizon);
+        let preds = [
+            rollout(&model, &hist, horizon),
+            persistence_rollout(&hist, horizon),
+            linear.rollout(&hist, horizon),
+        ];
+        for (m, p) in preds.iter().enumerate() {
+            for (i, e) in frame_errors(p, &truth).iter().enumerate() {
+                acc[i][m] += e;
+            }
+        }
+        count += 1;
+    }
+
+    let mut w = csv("ext_baselines.csv", &["method", "frame", "rel_l2_error"]);
+    let names = ["fno", "persistence", "spectral_linear"];
+    for (m, name) in names.iter().enumerate() {
+        for (i, a) in acc.iter().enumerate() {
+            emit_labeled(&mut w, name, &[(i + 1) as f64, a[m] / count as f64]);
+        }
+    }
+    w.flush().unwrap();
+
+    let final_errs: Vec<f64> = (0..3).map(|m| acc[horizon - 1][m] / count as f64).collect();
+    eprintln!(
+        "# frame-{horizon} error: fno {:.4e}, persistence {:.4e}, linear {:.4e}",
+        final_errs[0], final_errs[1], final_errs[2]
+    );
+    eprintln!(
+        "# check: FNO beats both baselines at the horizon: {}",
+        final_errs[0] < final_errs[1] && final_errs[0] < final_errs[2]
+    );
+}

@@ -1,0 +1,84 @@
+//! Extension: ensemble forecasting and the spread–skill relation.
+//!
+//! Operational forecasting (the paper's climate motivation) never trusts a
+//! single chaotic trajectory: it perturbs the initial state within the
+//! observation uncertainty and reads predictability off the ensemble
+//! spread. This harness rolls a perturbed ensemble with the trained FNO
+//! and compares the per-frame spread against the actual per-frame error —
+//! both should grow together (the spread–skill relation), with the spread
+//! giving an a-priori warning of where the forecast stops being useful.
+
+use ft_bench::{csv, dataset_pairs, emit, train_2d, Knobs, Scale};
+use ft_data::split_components;
+use fno_core::ensemble::ensemble_rollout;
+use fno_core::rollout::frame_errors;
+use fno_core::TrainConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let (train, test, ds) = dataset_pairs(&knobs, 5);
+    let tcfg = TrainConfig {
+        epochs: knobs.epochs,
+        batch_size: 8,
+        lr: knobs.lr,
+        scheduler_gamma: 0.5,
+        scheduler_step: 100,
+        seed: 0,
+        ..Default::default()
+    };
+    let (model, report) =
+        train_2d(&knobs, knobs.width, knobs.layers, knobs.modes, 5, &train, &test, tcfg);
+    eprintln!("# model test err {:.4e}", report.test_error);
+
+    let flat = split_components(&ds.velocity);
+    let start = knobs.train_samples * 2;
+    let horizon = 10usize;
+    let members = 8usize;
+    // Perturbation at 1% of the typical field norm.
+    let sample_norm = flat.index_axis0(start).slice_axis0(0, 1).norm_l2();
+    let delta0 = 0.01 * sample_norm;
+
+    let mut spread_acc = vec![0.0f64; horizon];
+    let mut err_acc = vec![0.0f64; horizon];
+    let mut count = 0usize;
+    for s in start..flat.dims()[0] {
+        let traj = flat.index_axis0(s);
+        let hist = traj.slice_axis0(0, 10);
+        let truth = traj.slice_axis0(10, horizon);
+        let ens = ensemble_rollout(&model, &hist, horizon, members, delta0);
+        for (i, e) in frame_errors(&ens.mean, &truth).iter().enumerate() {
+            err_acc[i] += e;
+        }
+        // Normalize spread by the truth frame norm for comparability.
+        for (i, s) in ens.spread.iter().enumerate() {
+            let t = truth.slice_axis0(i, 1);
+            let rms = t.norm_l2() / (t.len() as f64).sqrt();
+            spread_acc[i] += s / rms.max(1e-300);
+        }
+        count += 1;
+    }
+
+    let mut w = csv("ext_ensemble.csv", &["frame", "mean_error", "relative_spread"]);
+    for i in 0..horizon {
+        emit(&mut w, &[(i + 1) as f64, err_acc[i] / count as f64, spread_acc[i] / count as f64]);
+    }
+    w.flush().unwrap();
+
+    // At this horizon (10 frames = 0.05 t_c ≪ T_L ≈ 0.5 t_c) the Lyapunov
+    // amplification is e^{0.05/0.5} ≈ 1.1: the spread should stay near δ₀
+    // while the mean error grows — i.e. the forecast error here is *model
+    // bias*, not initial-condition chaos. Spread growth overtakes only on
+    // horizons approaching T_L.
+    let growing = |v: &[f64]| v[horizon - 1] > v[0];
+    let bounded = spread_acc[horizon - 1] < 3.0 * spread_acc[0].max(1e-300);
+    eprintln!(
+        "# check: error grows while spread stays near δ₀ (model-bias-dominated regime): {}",
+        growing(&err_acc) && bounded
+    );
+    eprintln!(
+        "# interpretation: error growth at this horizon is model bias, not chaotic"
+    );
+    eprintln!("# divergence — consistent with T_L ≈ 0.5 t_c from fig4");
+    eprintln!("# ensemble: {members} members, δ₀ = 1% of field norm");
+}

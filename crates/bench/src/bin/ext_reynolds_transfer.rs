@@ -1,0 +1,43 @@
+//! Extension: generalization across Reynolds numbers.
+//!
+//! The paper's outlook (Sec. VII) cautions that its models "have been
+//! trained on the data of decaying 2D turbulence for a specific range of
+//! Reynolds number" and that broader generalization — the "foundational
+//! model" ambition — needs more physics or more diverse data. This harness
+//! measures exactly that gap: a model trained at one Reynolds number is
+//! evaluated, unchanged, on flows generated at other Reynolds numbers.
+
+use ft_bench::{csv, dataset_pairs, emit, train_2d, Knobs, Scale};
+use fno_core::train::evaluate;
+use fno_core::TrainConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let (train, test, _) = dataset_pairs(&knobs, 5);
+    let tcfg = TrainConfig {
+        epochs: knobs.epochs,
+        batch_size: 8,
+        lr: knobs.lr,
+        scheduler_gamma: 0.5,
+        scheduler_step: 100,
+        seed: 0,
+        ..Default::default()
+    };
+    let (model, report) =
+        train_2d(&knobs, knobs.width, knobs.layers, knobs.modes, 5, &train, &test, tcfg);
+    eprintln!("# trained at Re = {}: test err {:.4e}", knobs.reynolds, report.test_error);
+
+    let mut w = csv("ext_reynolds_transfer.csv", &["reynolds", "test_error"]);
+    for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let mut k = knobs.clone();
+        k.reynolds = knobs.reynolds * factor;
+        let (_, test_re, _) = dataset_pairs(&k, 5);
+        let err = evaluate(&model, &test_re);
+        emit(&mut w, &[k.reynolds, err]);
+        eprintln!("# Re = {:>7.0}: one-shot err {err:.4e}", k.reynolds);
+    }
+    w.flush().unwrap();
+    eprintln!("# expectation: error is lowest at the training Reynolds number and");
+    eprintln!("# grows away from it — the specific-Re limitation the paper flags");
+}

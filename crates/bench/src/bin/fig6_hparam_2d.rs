@@ -1,0 +1,86 @@
+//! Fig. 6: one-factor-at-a-time hyperparameter sweep for the 2D FNO with
+//! 5 and 10 output channels: training samples, width, layers, modes,
+//! scheduler gamma, scheduler step, learning rate.
+//!
+//! Paper expectation: the error is most sensitive to the number of Fourier
+//! modes; the other knobs move it comparatively little.
+
+use ft_bench::{csv, dataset_pairs, emit_labeled, train_2d, Knobs, Scale};
+use fno_core::TrainConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+
+    let base = TrainConfig {
+        epochs: knobs.epochs,
+        batch_size: 8,
+        lr: knobs.lr,
+        scheduler_gamma: 0.5,
+        scheduler_step: 100,
+        seed: 0,
+        ..Default::default()
+    };
+
+    let mut w = csv("fig6_hparam_2d.csv", &["sweep", "value", "channels", "test_error", "wall_s"]);
+
+    for &c_out in &[5usize, 10] {
+        let (train, test, _) = dataset_pairs(&knobs, c_out);
+
+        // Baseline plus one-factor variations.
+        let mut run = |sweep: &str, value: f64, width: usize, layers: usize, modes: usize,
+                       n_train: Option<usize>, cfg: TrainConfig| {
+            let tr: Vec<_> = match n_train {
+                Some(k) => train.iter().take(k).cloned().collect(),
+                None => train.to_vec(),
+            };
+            let (_, report) = train_2d(&knobs, width, layers, modes, c_out, &tr, &test, cfg);
+            emit_labeled(
+                &mut w,
+                sweep,
+                &[value, c_out as f64, report.test_error, report.wall_seconds],
+            );
+        };
+
+        let (bw, bl, bm) = (knobs.width, knobs.layers, knobs.modes);
+
+        // samples
+        for &frac in &[0.5f64, 1.0] {
+            let k = ((train.len() as f64) * frac) as usize;
+            run("samples", k as f64, bw, bl, bm, Some(k.max(1)), base.clone());
+        }
+        // width
+        for &width in &[bw / 2, bw, bw * 2] {
+            run("width", width as f64, width.max(2), bl, bm, None, base.clone());
+        }
+        // layers
+        for &layers in &[bl / 2, bl, bl * 2] {
+            run("layers", layers as f64, bw, layers.max(1), bm, None, base.clone());
+        }
+        // modes — the knob the paper singles out.
+        for &modes in &[bm / 4, bm / 2, bm] {
+            run("modes", modes as f64, bw, bl, modes.max(2), None, base.clone());
+        }
+        // scheduler gamma
+        for &gamma in &[0.25f64, 0.5, 1.0] {
+            let mut cfg = base.clone();
+            cfg.scheduler_gamma = gamma;
+            cfg.scheduler_step = (knobs.epochs as u64 / 2).max(1);
+            run("gamma", gamma, bw, bl, bm, None, cfg);
+        }
+        // scheduler step
+        for &step in &[(knobs.epochs as u64 / 4).max(1), (knobs.epochs as u64 / 2).max(1)] {
+            let mut cfg = base.clone();
+            cfg.scheduler_step = step;
+            run("sched_step", step as f64, bw, bl, bm, None, cfg);
+        }
+        // learning rate
+        for &lr in &[knobs.lr * 4.0, knobs.lr, knobs.lr * 0.1] {
+            let mut cfg = base.clone();
+            cfg.lr = lr;
+            run("lr", lr, bw, bl, bm, None, cfg);
+        }
+    }
+    w.flush().unwrap();
+    eprintln!("# expectation: the 'modes' sweep moves test_error the most");
+}

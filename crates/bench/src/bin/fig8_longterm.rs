@@ -1,0 +1,61 @@
+//! Fig. 8: long-time predictions of the three methodologies — PDE,
+//! 2D FNO with channels, hybrid FNO-PDE — with the global diagnostics
+//! (kinetic energy, enstrophy, divergence) per frame, plus the vorticity
+//! fields at selected times (written as `.ftt` tensors for plotting).
+//!
+//! Paper expectations: the pure-FNO predictions are not divergence-free;
+//! the PDE phases of the hybrid scheme drive the fields back toward the
+//! solenoidal manifold; the hybrid diagnostics track the PDE reference far
+//! longer than the pure FNO's.
+
+use ft_bench::{csv, emit_labeled, results_dir, run_longterm_experiment, Knobs, Scale};
+use ft_data::save_tensor;
+use ft_lbm::vorticity;
+use ft_tensor::Tensor;
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let frames = if scale == Scale::Fast { 20 } else { 100 }; // 0.5 t_c at default scale
+    let (pde, fno, hybrid) = run_longterm_experiment(&knobs, frames);
+
+    let mut w = csv(
+        "fig8_longterm.csv",
+        &["scheme", "t_tc", "kinetic_energy", "enstrophy", "divergence_norm"],
+    );
+    for (name, log) in [("pde", &pde), ("fno", &fno), ("hybrid", &hybrid)] {
+        for i in 0..log.times.len() {
+            emit_labeled(
+                &mut w,
+                name,
+                &[log.times[i], log.kinetic_energy[i], log.enstrophy[i], log.divergence[i]],
+            );
+        }
+    }
+    w.flush().unwrap();
+
+    // Vorticity snapshots at the start, middle and end of the horizon
+    // (the Fig. 8 top row), stored as FTT1 tensors.
+    let dir = results_dir().join("fig8_fields");
+    std::fs::create_dir_all(&dir).expect("create field dir");
+    for (name, log) in [("pde", &pde), ("fno", &fno), ("hybrid", &hybrid)] {
+        for &idx in &[0usize, frames / 2, frames - 1] {
+            let (ux, uy) = &log.frames[idx];
+            let wz: Tensor = vorticity(ux, uy);
+            let path = dir.join(format!("{name}_frame{idx}.ftt"));
+            save_tensor(&path, &wz).expect("save vorticity field");
+        }
+    }
+    eprintln!("# vorticity fields written to {}", dir.display());
+
+    // Shape checks mirroring the paper's claims.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let div_pde = mean(&pde.divergence);
+    let div_fno = mean(&fno.divergence);
+    let div_hyb = mean(&hybrid.divergence);
+    eprintln!("# mean divergence: pde {div_pde:.3e}, fno {div_fno:.3e}, hybrid {div_hyb:.3e}");
+    eprintln!(
+        "# check: FNO not divergence-free, hybrid between PDE and FNO: {}",
+        div_fno > div_pde && div_hyb < div_fno
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 9: percentage errors in kinetic energy and enstrophy of the pure
+//! FNO and the hybrid FNO-PDE schemes against the PDE reference, over a
+//! long rollout.
+//!
+//! Paper expectations: the pure-FNO errors grow out of bound while the
+//! hybrid errors remain stable; kinetic-energy errors stay smaller than
+//! enstrophy errors (enstrophy depends on velocity *gradients*, which the
+//! model has no explicit mechanism to learn).
+
+use ft_bench::{csv, emit_labeled, run_longterm_experiment, Knobs, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+    let frames = if scale == Scale::Fast { 20 } else { 100 };
+    let (pde, fno, hybrid) = run_longterm_experiment(&knobs, frames);
+
+    let (ke_fno, en_fno) = fno.percent_errors(&pde);
+    let (ke_hyb, en_hyb) = hybrid.percent_errors(&pde);
+
+    let mut w = csv(
+        "fig9_energy_errors.csv",
+        &["scheme", "t_tc", "ke_error_pct", "enstrophy_error_pct"],
+    );
+    for i in 0..ke_fno.len() {
+        emit_labeled(&mut w, "fno", &[pde.times[i], ke_fno[i], en_fno[i]]);
+    }
+    for i in 0..ke_hyb.len() {
+        emit_labeled(&mut w, "hybrid", &[pde.times[i], ke_hyb[i], en_hyb[i]]);
+    }
+    w.flush().unwrap();
+
+    let tail = |v: &[f64]| v.iter().rev().take(v.len() / 4).sum::<f64>() / (v.len() / 4).max(1) as f64;
+    eprintln!(
+        "# late-time KE error: fno {:.2}% vs hybrid {:.2}%",
+        tail(&ke_fno),
+        tail(&ke_hyb)
+    );
+    eprintln!(
+        "# late-time enstrophy error: fno {:.2}% vs hybrid {:.2}%",
+        tail(&en_fno),
+        tail(&en_hyb)
+    );
+    eprintln!(
+        "# check: hybrid stays tighter than pure FNO at late times: {}",
+        tail(&ke_hyb) < tail(&ke_fno) && tail(&en_hyb) < tail(&en_fno)
+    );
+}

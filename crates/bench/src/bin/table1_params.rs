@@ -1,0 +1,69 @@
+//! Table I: parameter counts and training time for the twelve model
+//! configurations.
+//!
+//! The parameter counts reproduce the paper **exactly** (they are asserted,
+//! not just printed — a mismatch aborts the run). Training time is measured
+//! on this host at the harness scale and reported as a relative cost; the
+//! paper's ordinal claim — 3D FNO trains slower than 2D-with-channels at
+//! comparable or larger error — is what the substitution preserves.
+
+use ft_bench::{csv, dataset_pairs, emit_labeled, Knobs, Scale};
+use fno_core::{Fno, FnoConfig, TrainConfig, Trainer};
+
+fn main() {
+    let scale = Scale::from_env();
+    let knobs = Knobs::new(scale);
+
+    let mut w = csv(
+        "table1_params.csv",
+        &["row", "params_expected", "params_computed", "train_size", "wall_s_scaled"],
+    );
+
+    // Exact parameter counts for every row (paper-architecture formulas).
+    for (label, cfg, expected) in FnoConfig::table1() {
+        let computed = cfg.param_count();
+        assert_eq!(computed, expected, "{label}: Table I count mismatch");
+        emit_labeled(&mut w, label, &[expected as f64, computed as f64, f64::NAN, f64::NAN]);
+    }
+    eprintln!("# all 12 Table I parameter counts reproduce exactly");
+
+    // Measured training-time comparison at harness scale: one 2D config vs
+    // one 3D config (same width tier), mirroring the Table I time column.
+    if scale != Scale::Paper {
+        let cfg_train = TrainConfig {
+            epochs: (knobs.epochs / 4).max(2),
+            batch_size: 4,
+            lr: knobs.lr,
+            scheduler_gamma: 0.5,
+            scheduler_step: 100,
+            seed: 0,
+            ..Default::default()
+        };
+        let (train10, test10, _) = dataset_pairs(&knobs, 10);
+
+        let time_of = |cfg: FnoConfig| -> (f64, usize) {
+            let mut c = cfg;
+            c.lifting_channels = 16;
+            c.projection_channels = 16;
+            let params = c.param_count();
+            let model = Fno::new(c, 7);
+            let mut t = Trainer::new(model, cfg_train.clone());
+            let report = t.train(&train10, &test10);
+            (report.wall_seconds, params)
+        };
+
+        let (t2d, p2d) = time_of(FnoConfig::fno2d(knobs.width, knobs.layers, knobs.modes, 10));
+        let (t3d, p3d) = time_of(FnoConfig::fno3d(
+            (knobs.width / 2).max(2),
+            knobs.layers.min(2),
+            (knobs.modes / 2).max(2),
+        ));
+        emit_labeled(&mut w, "measured 2D FNO + Channels (10)", &[f64::NAN, p2d as f64, train10.len() as f64, t2d]);
+        emit_labeled(&mut w, "measured 3D FNO", &[f64::NAN, p3d as f64, train10.len() as f64, t3d]);
+        eprintln!(
+            "# measured: 2D {t2d:.1}s vs 3D {t3d:.1}s per run at harness scale — ordinal claim: 3D slower = {}",
+            t3d > t2d
+        );
+    }
+    w.flush().unwrap();
+}

@@ -1,0 +1,275 @@
+//! Physics-informed training: the divergence penalty the paper flags as
+//! future work ("the predictions from FNO are not divergence free (as the
+//! incompressibility of velocity fields was not incorporated in the loss
+//! function) … could be addressed by incorporating governing equations in
+//! the loss functions").
+//!
+//! The penalty operates on *paired-component* predictions: a batch
+//! `[B, 2k, H, W]` whose first `k` channels are `u_x` frames and last `k`
+//! channels are the matching `u_y` frames (see
+//! [`paired_pair`] for building such pairs from a dataset). The penalty is
+//! the mean squared centered-difference divergence over every predicted
+//! frame; its gradient uses the adjoint of the (antisymmetric) periodic
+//! difference operators.
+
+use ft_data::Pair;
+use ft_tensor::Tensor;
+
+/// Mean squared discrete divergence of paired-component predictions,
+/// with its gradient.
+///
+/// `pred` has shape `[B, 2k, H, W]`; frame `i` pairs channel `i` (u_x)
+/// with channel `k + i` (u_y).
+pub fn divergence_penalty(pred: &Tensor) -> (f64, Tensor) {
+    let dims = pred.dims();
+    assert_eq!(dims.len(), 4, "expected [B, 2k, H, W]");
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(c % 2 == 0, "paired-component batch needs an even channel count");
+    let k = c / 2;
+    let frame = h * w;
+    let total = (b * k * frame) as f64;
+
+    let mut value = 0.0;
+    let mut grad = Tensor::zeros(dims);
+    {
+        let pd = pred.data();
+        let gd = grad.data_mut();
+        for bi in 0..b {
+            for fi in 0..k {
+                let ux_off = (bi * c + fi) * frame;
+                let uy_off = (bi * c + k + fi) * frame;
+                // div = ddx(ux) + ddy(uy), centered periodic differences.
+                let mut div = vec![0.0f64; frame];
+                for y in 0..h {
+                    for x in 0..w {
+                        let xp = (x + 1) % w;
+                        let xm = (x + w - 1) % w;
+                        let yp = (y + 1) % h;
+                        let ym = (y + h - 1) % h;
+                        div[y * w + x] = 0.5 * (pd[ux_off + y * w + xp] - pd[ux_off + y * w + xm])
+                            + 0.5 * (pd[uy_off + yp * w + x] - pd[uy_off + ym * w + x]);
+                    }
+                }
+                for &d in &div {
+                    value += d * d;
+                }
+                // Adjoint: dL/dux = −ddx(div)·2/N, dL/duy = −ddy(div)·2/N
+                // (the centered periodic difference is antisymmetric).
+                for y in 0..h {
+                    for x in 0..w {
+                        let xp = (x + 1) % w;
+                        let xm = (x + w - 1) % w;
+                        let yp = (y + 1) % h;
+                        let ym = (y + h - 1) % h;
+                        let ddx_div = 0.5 * (div[y * w + xp] - div[y * w + xm]);
+                        let ddy_div = 0.5 * (div[yp * w + x] - div[ym * w + x]);
+                        gd[ux_off + y * w + x] += -2.0 * ddx_div / total;
+                        gd[uy_off + y * w + x] += -2.0 * ddy_div / total;
+                    }
+                }
+            }
+        }
+    }
+    (value / total, grad)
+}
+
+/// Builds a paired-component training pair from one velocity trajectory
+/// snapshot window: inputs are `[2·in_len, H, W]` (u_x frames then u_y
+/// frames), targets `[2·out_len, H, W]`.
+///
+/// `traj` has shape `[T, 2, H, W]` (one sample of
+/// `ft_data::TurbulenceDataset::velocity`).
+pub fn paired_pair(traj: &Tensor, start: usize, in_len: usize, out_len: usize) -> Pair {
+    let dims = traj.dims();
+    assert_eq!(dims.len(), 4, "expected [T, 2, H, W]");
+    assert_eq!(dims[1], 2, "two velocity components");
+    let (h, w) = (dims[2], dims[3]);
+    let frame = h * w;
+    let td = traj.data();
+
+    let build = |s: usize, len: usize| -> Tensor {
+        let mut out = Tensor::zeros(&[2 * len, h, w]);
+        let od = out.data_mut();
+        for f in 0..len {
+            let t = s + f;
+            let ux_src = (t * 2) * frame;
+            let uy_src = (t * 2 + 1) * frame;
+            od[f * frame..(f + 1) * frame].copy_from_slice(&td[ux_src..ux_src + frame]);
+            od[(len + f) * frame..(len + f + 1) * frame]
+                .copy_from_slice(&td[uy_src..uy_src + frame]);
+        }
+        out
+    };
+
+    Pair { input: build(start, in_len), target: build(start + in_len, out_len) }
+}
+
+/// Mean squared centered-difference vorticity of a paired-component batch
+/// `[B, 2k, H, W]` — the natural normalization scale for
+/// [`divergence_penalty`]: both are squared velocity gradients, so their
+/// ratio is dimensionless and O(1) for a generic (non-solenoidal) field.
+pub fn mean_sq_vorticity(batch: &Tensor) -> f64 {
+    let dims = batch.dims();
+    assert_eq!(dims.len(), 4, "expected [B, 2k, H, W]");
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(c % 2 == 0, "paired-component batch needs an even channel count");
+    let k = c / 2;
+    let frame = h * w;
+    let pd = batch.data();
+    let mut acc = 0.0;
+    for bi in 0..b {
+        for fi in 0..k {
+            let ux_off = (bi * c + fi) * frame;
+            let uy_off = (bi * c + k + fi) * frame;
+            for y in 0..h {
+                for x in 0..w {
+                    let xp = (x + 1) % w;
+                    let xm = (x + w - 1) % w;
+                    let yp = (y + 1) % h;
+                    let ym = (y + h - 1) % h;
+                    let wz = 0.5 * (pd[uy_off + y * w + xp] - pd[uy_off + y * w + xm])
+                        - 0.5 * (pd[ux_off + yp * w + x] - pd[ux_off + ym * w + x]);
+                    acc += wz * wz;
+                }
+            }
+        }
+    }
+    acc / (b * k * frame) as f64
+}
+
+/// All paired-component windows of a `[T, 2, H, W]` trajectory with stride
+/// `out_len` (the paper's equal-data-volume convention).
+pub fn paired_windows(traj: &Tensor, in_len: usize, out_len: usize) -> Vec<Pair> {
+    let t = traj.dims()[0];
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + in_len + out_len <= t {
+        out.push(paired_pair(traj, start, in_len, out_len));
+        start += out_len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_zero_for_discretely_solenoidal_field() {
+        // u = ddy(ψ), v = −ddx(ψ) with the same centered stencil is
+        // discretely divergence-free.
+        let n = 12;
+        let psi = Tensor::from_fn(&[n, n], |i| ((i[0] * 3 + i[1] * 2) as f64 * 0.4).sin());
+        let d = psi.data().to_vec();
+        let mut pred = Tensor::zeros(&[1, 2, n, n]);
+        {
+            let pdm = pred.data_mut();
+            for y in 0..n {
+                for x in 0..n {
+                    let yp = (y + 1) % n;
+                    let ym = (y + n - 1) % n;
+                    let xp = (x + 1) % n;
+                    let xm = (x + n - 1) % n;
+                    pdm[y * n + x] = 0.5 * (d[yp * n + x] - d[ym * n + x]);
+                    pdm[n * n + y * n + x] = -0.5 * (d[y * n + xp] - d[y * n + xm]);
+                }
+            }
+        }
+        let (v, g) = divergence_penalty(&pred);
+        assert!(v < 1e-28, "penalty {v}");
+        assert!(g.norm_l2() < 1e-13);
+    }
+
+    #[test]
+    fn penalty_positive_for_compressible_field() {
+        // A radial-ish field has nonzero divergence.
+        let n = 8;
+        let pred = Tensor::from_fn(&[1, 2, n, n], |i| {
+            if i[1] == 0 {
+                (2.0 * std::f64::consts::PI * i[3] as f64 / n as f64).sin()
+            } else {
+                (2.0 * std::f64::consts::PI * i[2] as f64 / n as f64).sin()
+            }
+        });
+        let (v, _) = divergence_penalty(&pred);
+        assert!(v > 1e-4, "penalty {v}");
+    }
+
+    #[test]
+    fn penalty_gradient_matches_finite_difference() {
+        let n = 6;
+        let pred = Tensor::from_fn(&[2, 4, n, n], |i| {
+            ((i[0] + 2 * i[1] + 3 * i[2] + 5 * i[3]) as f64 * 0.37).sin()
+        });
+        let (_, g) = divergence_penalty(&pred);
+        let eps = 1e-6;
+        let mut p = pred.clone();
+        for j in (0..p.len()).step_by(7) {
+            let orig = p.data()[j];
+            p.data_mut()[j] = orig + eps;
+            let (lp, _) = divergence_penalty(&p);
+            p.data_mut()[j] = orig - eps;
+            let (lm, _) = divergence_penalty(&p);
+            p.data_mut()[j] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (g.data()[j] - num).abs() < 1e-8,
+                "entry {j}: {} vs {num}",
+                g.data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn paired_pair_layout() {
+        // traj[t, c, y, x] = t*1000 + c*100 + y*10 + x.
+        let traj = Tensor::from_fn(&[6, 2, 2, 2], |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f64
+        });
+        let p = paired_pair(&traj, 1, 2, 3);
+        assert_eq!(p.input.dims(), &[4, 2, 2]);
+        assert_eq!(p.target.dims(), &[6, 2, 2]);
+        // input channel 0 = ux at t=1; channel 2 = uy at t=1.
+        assert_eq!(p.input.at(&[0, 1, 0]), 1010.0);
+        assert_eq!(p.input.at(&[2, 1, 0]), 1110.0);
+        // input channel 1 = ux at t=2.
+        assert_eq!(p.input.at(&[1, 0, 1]), 2001.0);
+        // target channel 0 = ux at t=3; channel 3 = uy at t=3.
+        assert_eq!(p.target.at(&[0, 0, 0]), 3000.0);
+        assert_eq!(p.target.at(&[3, 0, 0]), 3100.0);
+    }
+
+    #[test]
+    fn paired_windows_count() {
+        let traj = Tensor::zeros(&[20, 2, 2, 2]);
+        assert_eq!(paired_windows(&traj, 10, 5).len(), 2);
+        assert_eq!(paired_windows(&traj, 10, 10).len(), 1);
+        assert_eq!(paired_windows(&traj, 10, 1).len(), 10);
+    }
+
+    #[test]
+    fn mean_sq_vorticity_scale_invariance() {
+        let n = 8;
+        let batch = Tensor::from_fn(&[1, 2, n, n], |i| {
+            ((i[1] * 3 + i[2] * 2 + i[3]) as f64 * 0.7).sin()
+        });
+        let a = mean_sq_vorticity(&batch);
+        let b = mean_sq_vorticity(&batch.scale(3.0));
+        assert!(a > 0.0);
+        assert!((b / a - 9.0).abs() < 1e-9, "quadratic in amplitude");
+    }
+
+    #[test]
+    fn penalty_to_vorticity_ratio_is_dimensionless() {
+        // Scaling the field must leave the penalty/vorticity ratio fixed —
+        // the property the trainer's normalization relies on.
+        let n = 8;
+        let batch = Tensor::from_fn(&[1, 2, n, n], |i| {
+            ((i[1] * 5 + i[2] + 2 * i[3]) as f64 * 0.53).cos()
+        });
+        let r1 = divergence_penalty(&batch).0 / mean_sq_vorticity(&batch);
+        let s = batch.scale(7.0);
+        let r2 = divergence_penalty(&s).0 / mean_sq_vorticity(&s);
+        assert!((r1 - r2).abs() < 1e-9 * r1.max(1e-9));
+    }
+}

@@ -1,0 +1,163 @@
+//! Higher-order turbulence diagnostics: probability density functions and
+//! velocity structure functions.
+//!
+//! Beyond the global quantities of Figs. 1 and 8, turbulence work judges a
+//! surrogate by whether it reproduces the *distributional* structure of the
+//! flow — vorticity PDFs (intermittency shows up in the tails) and the
+//! longitudinal structure functions `S_p(r) = ⟨(δu_L(r))^p⟩` whose scaling
+//! encodes the cascade. These are the natural next diagnostics for the
+//! spectral-bias story and are exercised by the extension harnesses.
+
+use ft_tensor::Tensor;
+
+/// Histogram-based probability density estimate.
+///
+/// Returns `(bin_centers, density)` with `bins` equal-width bins spanning
+/// the sample range; the density integrates to 1 over that range.
+pub fn pdf(field: &Tensor, bins: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(bins >= 1, "need at least one bin");
+    assert!(!field.is_empty(), "empty field");
+    let lo = field.min();
+    let hi = field.max();
+    let width = ((hi - lo) / bins as f64).max(1e-300);
+    let mut counts = vec![0usize; bins];
+    for &v in field.data() {
+        let mut b = ((v - lo) / width) as usize;
+        if b >= bins {
+            b = bins - 1; // the maximum lands in the last bin
+        }
+        counts[b] += 1;
+    }
+    let n = field.len() as f64;
+    let centers = (0..bins).map(|b| lo + (b as f64 + 0.5) * width).collect();
+    let density = counts.iter().map(|&c| c as f64 / (n * width)).collect();
+    (centers, density)
+}
+
+/// `p`-th order longitudinal velocity structure function
+/// `S_p(r) = ⟨(u_L(x + r·ê) − u_L(x))^p⟩` on the periodic grid, averaged
+/// over both coordinate directions (x-separations of `u_x` and
+/// y-separations of `u_y`).
+///
+/// `separations` are integer grid offsets; returns one value per offset.
+pub fn structure_function(ux: &Tensor, uy: &Tensor, order: u32, separations: &[usize]) -> Vec<f64> {
+    let dims = ux.dims();
+    assert_eq!(dims.len(), 2, "expected 2D fields");
+    assert_eq!(uy.dims(), dims, "component shape mismatch");
+    let (ny, nx) = (dims[0], dims[1]);
+    let (uxd, uyd) = (ux.data(), uy.data());
+
+    separations
+        .iter()
+        .map(|&r| {
+            let mut acc = 0.0;
+            // x-direction longitudinal increments of u_x.
+            for y in 0..ny {
+                for x in 0..nx {
+                    let d = uxd[y * nx + (x + r) % nx] - uxd[y * nx + x];
+                    acc += d.powi(order as i32);
+                }
+            }
+            // y-direction longitudinal increments of u_y.
+            for y in 0..ny {
+                for x in 0..nx {
+                    let d = uyd[((y + r) % ny) * nx + x] - uyd[y * nx + x];
+                    acc += d.powi(order as i32);
+                }
+            }
+            acc / (2 * nx * ny) as f64
+        })
+        .collect()
+}
+
+/// Excess kurtosis (flatness − 3) of a field: 0 for Gaussian statistics,
+/// positive for the heavy tails of intermittent vorticity.
+pub fn excess_kurtosis(field: &Tensor) -> f64 {
+    let m = field.mean();
+    let n = field.len() as f64;
+    let mut m2 = 0.0;
+    let mut m4 = 0.0;
+    for &v in field.data() {
+        let d = v - m;
+        m2 += d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= n;
+    m4 /= n;
+    m4 / (m2 * m2).max(1e-300) - 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let f = Tensor::from_fn(&[32, 32], |i| ((i[0] * 7 + i[1] * 3) as f64 * 0.17).sin());
+        let (centers, density) = pdf(&f, 24);
+        assert_eq!(centers.len(), 24);
+        let width = centers[1] - centers[0];
+        let total: f64 = density.iter().map(|d| d * width).sum();
+        assert!((total - 1.0).abs() < 1e-12, "integral {total}");
+        assert!(density.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn pdf_of_two_level_field() {
+        // Half the points at −1, half at +1 → symmetric two-spike PDF.
+        let f = Tensor::from_fn(&[2, 8], |i| if i[0] == 0 { -1.0 } else { 1.0 });
+        let (_, density) = pdf(&f, 2);
+        assert!((density[0] - density[1]).abs() < 1e-12, "symmetric spikes");
+    }
+
+    #[test]
+    fn structure_function_of_single_mode_is_exact() {
+        // u_x = sin(kx): S₂(r) = ⟨(sin(k(x+r)) − sin(kx))²⟩ = 1 − cos(kr).
+        let n = 64;
+        let k = 2.0 * PI * 3.0 / n as f64;
+        let ux = Tensor::from_fn(&[n, n], |i| (k * i[1] as f64).sin());
+        let uy = Tensor::from_fn(&[n, n], |i| (k * i[0] as f64).sin());
+        let rs = [1usize, 2, 5, 10];
+        let s2 = structure_function(&ux, &uy, 2, &rs);
+        for (&r, &v) in rs.iter().zip(&s2) {
+            let expect = 1.0 - (k * r as f64).cos();
+            assert!((v - expect).abs() < 1e-12, "r={r}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn odd_structure_function_vanishes_for_symmetric_field() {
+        // A pure sine has symmetric increments: S₃ = 0 exactly.
+        let n = 32;
+        let k = 2.0 * PI * 2.0 / n as f64;
+        let ux = Tensor::from_fn(&[n, n], |i| (k * i[1] as f64).sin());
+        let uy = Tensor::from_fn(&[n, n], |i| (k * i[0] as f64).cos());
+        let s3 = structure_function(&ux, &uy, 3, &[1, 3, 7]);
+        for v in s3 {
+            assert!(v.abs() < 1e-12, "S3 = {v}");
+        }
+    }
+
+    #[test]
+    fn structure_function_zero_at_zero_separation() {
+        let f = Tensor::from_fn(&[16, 16], |i| (i[0] * i[1]) as f64 * 0.01);
+        let s = structure_function(&f, &f, 2, &[0]);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn kurtosis_of_two_level_is_minus_two() {
+        // A symmetric two-level distribution has flatness 1 → excess −2.
+        let f = Tensor::from_fn(&[2, 100], |i| if i[0] == 0 { -1.0 } else { 1.0 });
+        assert!((excess_kurtosis(&f) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_of_sine_is_negative_three_halves() {
+        // A pure sinusoid has flatness 3/2 → excess −3/2.
+        let n = 4096;
+        let f = Tensor::from_fn(&[n], |i| (2.0 * PI * 7.0 * i[0] as f64 / n as f64).sin());
+        assert!((excess_kurtosis(&f) + 1.5).abs() < 1e-6);
+    }
+}

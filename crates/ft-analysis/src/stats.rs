@@ -1,0 +1,167 @@
+//! Per-snapshot global statistics and their evolution (Fig. 1, Fig. 8).
+
+use ft_tensor::Tensor;
+
+/// Scalar statistics of one field snapshot (one point on a Fig. 1 curve).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FieldStats {
+    /// Volume mean of the field.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Frobenius norm `‖Ω‖_F = sqrt(Σ Ω_ij²)`.
+    pub frobenius: f64,
+    /// Global enstrophy: sum of squared fluctuation `Σ (Ω − Ω̄)²`.
+    pub enstrophy: f64,
+}
+
+impl FieldStats {
+    /// Computes the statistics of a field snapshot.
+    pub fn of(field: &Tensor) -> Self {
+        let mean = field.mean();
+        let std = field.std();
+        let frobenius = field.norm_l2();
+        let enstrophy = field.variance() * field.len() as f64;
+        FieldStats { mean, std, frobenius, enstrophy }
+    }
+
+    /// Statistics of the whole trajectory, one entry per snapshot
+    /// (`traj` shape `[T, …]`).
+    pub fn of_trajectory(traj: &Tensor) -> Vec<FieldStats> {
+        let t = traj.dims()[0];
+        (0..t).map(|i| FieldStats::of(&traj.index_axis0(i))).collect()
+    }
+}
+
+/// The Fig. 8 bottom-row diagnostics of a velocity snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GlobalDiagnostics {
+    /// Domain-summed kinetic energy `½ Σ (u_x² + u_y²)`.
+    pub kinetic_energy: f64,
+    /// Global enstrophy `Σ ω²` of the vorticity computed from velocity.
+    pub enstrophy: f64,
+    /// L2 norm of the discrete divergence (zero for incompressible fields).
+    pub divergence_norm: f64,
+}
+
+impl GlobalDiagnostics {
+    /// Computes the diagnostics from a velocity field pair.
+    pub fn of_velocity(ux: &Tensor, uy: &Tensor) -> Self {
+        let ke = 0.5 * (ux.dot(ux) + uy.dot(uy));
+        let w = ft_vorticity(ux, uy);
+        let div = ft_divergence(ux, uy);
+        GlobalDiagnostics {
+            kinetic_energy: ke,
+            enstrophy: w.dot(&w),
+            divergence_norm: div.norm_l2(),
+        }
+    }
+}
+
+/// Normalizes a trajectory `[T, …]` by the mean and standard deviation of
+/// its **initial** snapshot, as in the right column of Fig. 1.
+pub fn normalize_by_initial(traj: &Tensor) -> Tensor {
+    let first = traj.index_axis0(0);
+    let (m, s) = (first.mean(), first.std());
+    assert!(s > 0.0, "cannot normalize by a constant initial snapshot");
+    traj.map(|x| (x - m) / s)
+}
+
+// Centered periodic differences, duplicated from ft-lbm::fields to keep this
+// crate free of a solver dependency (the stencil is four lines either way).
+fn ft_vorticity(ux: &Tensor, uy: &Tensor) -> Tensor {
+    let (ny, nx) = (ux.dims()[0], ux.dims()[1]);
+    let (uxd, uyd) = (ux.data(), uy.data());
+    Tensor::from_fn(&[ny, nx], |i| {
+        let (y, x) = (i[0], i[1]);
+        let xp = (x + 1) % nx;
+        let xm = (x + nx - 1) % nx;
+        let yp = (y + 1) % ny;
+        let ym = (y + ny - 1) % ny;
+        0.5 * (uyd[y * nx + xp] - uyd[y * nx + xm]) - 0.5 * (uxd[yp * nx + x] - uxd[ym * nx + x])
+    })
+}
+
+fn ft_divergence(ux: &Tensor, uy: &Tensor) -> Tensor {
+    let (ny, nx) = (ux.dims()[0], ux.dims()[1]);
+    let (uxd, uyd) = (ux.data(), uy.data());
+    Tensor::from_fn(&[ny, nx], |i| {
+        let (y, x) = (i[0], i[1]);
+        let xp = (x + 1) % nx;
+        let xm = (x + nx - 1) % nx;
+        let yp = (y + 1) % ny;
+        let ym = (y + ny - 1) % ny;
+        0.5 * (uxd[y * nx + xp] - uxd[y * nx + xm]) + 0.5 * (uyd[yp * nx + x] - uyd[ym * nx + x])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_field() {
+        let f = Tensor::from_vec(&[2, 2], vec![1.0, -1.0, 1.0, -1.0]);
+        let s = FieldStats::of(&f);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.frobenius, 2.0);
+        assert_eq!(s.enstrophy, 4.0);
+    }
+
+    #[test]
+    fn trajectory_stats_track_each_snapshot() {
+        let t0 = Tensor::full(&[4, 4], 1.0);
+        let t1 = Tensor::full(&[4, 4], 2.0);
+        let traj = Tensor::stack(&[t0, t1]);
+        let stats = FieldStats::of_trajectory(&traj);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].mean, 1.0);
+        assert_eq!(stats[1].mean, 2.0);
+        assert_eq!(stats[0].std, 0.0);
+    }
+
+    #[test]
+    fn normalize_by_initial_standardizes_first_frame() {
+        let t0 = Tensor::from_vec(&[4], vec![1.0, 3.0, 5.0, 7.0]);
+        let t1 = t0.scale(0.5);
+        let traj = Tensor::stack(&[t0, t1]);
+        let norm = normalize_by_initial(&traj);
+        let first = norm.index_axis0(0);
+        assert!(first.mean().abs() < 1e-12);
+        assert!((first.std() - 1.0).abs() < 1e-12);
+        // Later frames share the same affine map (no per-frame re-centering).
+        let second = norm.index_axis0(1);
+        assert!(second.std() < 1.0);
+    }
+
+    #[test]
+    fn diagnostics_of_solenoidal_field() {
+        // Discretely solenoidal field: u = ddy(ψ), v = −ddx(ψ) with the same
+        // centered stencil.
+        let n = 16;
+        let psi = Tensor::from_fn(&[n, n], |i| {
+            ((i[0] * 2 + i[1] * 3) as f64 * 0.3).sin()
+        });
+        let d = psi.data().to_vec();
+        let ux = Tensor::from_fn(&[n, n], |i| {
+            let (y, x) = (i[0], i[1]);
+            0.5 * (d[((y + 1) % n) * n + x] - d[((y + n - 1) % n) * n + x])
+        });
+        let uy = Tensor::from_fn(&[n, n], |i| {
+            let (y, x) = (i[0], i[1]);
+            -0.5 * (d[y * n + (x + 1) % n] - d[y * n + (x + n - 1) % n])
+        });
+        let g = GlobalDiagnostics::of_velocity(&ux, &uy);
+        assert!(g.divergence_norm < 1e-12);
+        assert!(g.kinetic_energy > 0.0);
+        assert!(g.enstrophy > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant initial snapshot")]
+    fn normalize_rejects_constant_first_frame() {
+        let traj = Tensor::zeros(&[2, 4]);
+        normalize_by_initial(&traj);
+    }
+}

@@ -1,0 +1,170 @@
+//! On-disk storage: a minimal self-describing binary tensor format and a
+//! CSV writer for the experiment harness.
+//!
+//! Format (little-endian): magic `FTT1`, rank `u32`, dims `u64 × rank`,
+//! then the row-major `f64` payload. No external serialization crate is
+//! needed for a flat numeric container.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ft_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"FTT1";
+
+/// Writes a tensor to `path` in the `FTT1` format.
+pub fn save_tensor(path: impl AsRef<Path>, t: &Tensor) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(t.shape().rank() as u32).to_le_bytes())?;
+    for &d in t.dims() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a tensor from `path`, validating the header.
+pub fn load_tensor(path: impl AsRef<Path>) -> io::Result<Tensor> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FTT1 tensor file"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let rank = u32::from_le_bytes(b4) as usize;
+    if rank > 16 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut b8 = [0u8; 8];
+    for _ in 0..rank {
+        r.read_exact(&mut b8)?;
+        dims.push(u64::from_le_bytes(b8) as usize);
+    }
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        r.read_exact(&mut b8)?;
+        data.push(f64::from_le_bytes(b8));
+    }
+    // Trailing garbage means a corrupt or truncated-then-padded file.
+    let mut extra = [0u8; 1];
+    if r.read(&mut extra)? != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes after payload"));
+    }
+    Ok(Tensor::from_vec(&dims, data))
+}
+
+/// A small CSV emitter used by the figure/table harness binaries.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates the file and writes the header row.
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter { out, columns: header.len() })
+    }
+
+    /// Writes one numeric row (must match the header width).
+    pub fn row(&mut self, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len(), self.columns, "row width does not match header");
+        let line: Vec<String> = values.iter().map(|v| format!("{v:.10e}")).collect();
+        writeln!(self.out, "{}", line.join(","))
+    }
+
+    /// Writes a row with a leading string label followed by numeric columns.
+    pub fn labeled_row(&mut self, label: &str, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len() + 1, self.columns, "row width does not match header");
+        let nums: Vec<String> = values.iter().map(|v| format!("{v:.10e}")).collect();
+        if nums.is_empty() {
+            writeln!(self.out, "{label}")
+        } else {
+            writeln!(self.out, "{label},{}", nums.join(","))
+        }
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ft_data_io_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_fn(&[3, 4, 5], |i| (i[0] * 20 + i[1] * 5 + i[2]) as f64 * 0.5 - 7.0);
+        let p = tmpfile("roundtrip.ftt");
+        save_tensor(&p, &t).unwrap();
+        let back = load_tensor(&p).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert!(back.allclose(&t, 0.0));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn scalar_and_empty_shapes() {
+        for dims in [vec![], vec![0], vec![2, 0, 3]] {
+            let t = Tensor::zeros(&dims);
+            let p = tmpfile(&format!("shape_{}.ftt", dims.len()));
+            save_tensor(&p, &t).unwrap();
+            let back = load_tensor(&p).unwrap();
+            assert_eq!(back.dims(), t.dims());
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let p = tmpfile("bad.ftt");
+        std::fs::write(&p, b"NOPE....").unwrap();
+        assert!(load_tensor(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let t = Tensor::from_fn(&[4, 4], |i| i[0] as f64);
+        let p = tmpfile("trunc.ftt");
+        save_tensor(&p, &t).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(load_tensor(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_writer_emits_rows() {
+        let p = tmpfile("table.csv");
+        {
+            let mut w = CsvWriter::create(&p, &["t", "value"]).unwrap();
+            w.row(&[0.0, 1.5]).unwrap();
+            w.row(&[1.0, 2.5]).unwrap();
+            w.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t,value");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.0000000000e0,"));
+        std::fs::remove_file(&p).ok();
+    }
+}

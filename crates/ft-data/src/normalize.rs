@@ -1,0 +1,149 @@
+//! Per-sample normalization by the initial snapshot's statistics.
+//!
+//! The right column of Fig. 1 normalizes each sample by the mean and
+//! standard deviation of its vorticity at t = 0. The same convention is
+//! used before training so every sample enters the model at unit scale,
+//! and predictions are de-normalized on the way out.
+
+use ft_tensor::Tensor;
+
+/// Affine normalization parameters of one sample: `x̃ = (x − mean)/std`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormParams {
+    /// Mean of the initial snapshot.
+    pub mean: f64,
+    /// Standard deviation of the initial snapshot.
+    pub std: f64,
+}
+
+impl NormParams {
+    /// Parameters from a sample trajectory `[T, …]`: statistics of frame 0.
+    pub fn from_initial(traj: &Tensor) -> Self {
+        let first = traj.index_axis0(0);
+        let std = first.std();
+        assert!(std > 0.0, "initial snapshot is constant; cannot normalize");
+        NormParams { mean: first.mean(), std }
+    }
+
+    /// Applies the normalization.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        let (m, s) = (self.mean, self.std);
+        x.map(|v| (v - m) / s)
+    }
+
+    /// Inverts the normalization.
+    pub fn invert(&self, x: &Tensor) -> Tensor {
+        let (m, s) = (self.mean, self.std);
+        x.map(|v| v * s + m)
+    }
+}
+
+/// Normalizer for a batch of sample trajectories `[S, T, …]`, holding one
+/// [`NormParams`] per sample.
+#[derive(Clone, Debug)]
+pub struct Normalizer {
+    params: Vec<NormParams>,
+}
+
+impl Normalizer {
+    /// Fits per-sample parameters from the initial snapshots of a batch.
+    pub fn fit(batch: &Tensor) -> Self {
+        let s = batch.dims()[0];
+        let params = (0..s)
+            .map(|i| NormParams::from_initial(&batch.index_axis0(i)))
+            .collect();
+        Normalizer { params }
+    }
+
+    /// Parameters of sample `s`.
+    pub fn params(&self, s: usize) -> NormParams {
+        self.params[s]
+    }
+
+    /// Normalizes the whole batch (same shape out).
+    pub fn apply(&self, batch: &Tensor) -> Tensor {
+        let mut out = batch.clone();
+        let s = batch.dims()[0];
+        assert_eq!(s, self.params.len(), "sample count mismatch");
+        let per = batch.len() / s;
+        for (i, p) in self.params.iter().enumerate() {
+            let seg = &mut out.data_mut()[i * per..(i + 1) * per];
+            for v in seg {
+                *v = (*v - p.mean) / p.std;
+            }
+        }
+        out
+    }
+
+    /// Inverts [`Normalizer::apply`].
+    pub fn invert(&self, batch: &Tensor) -> Tensor {
+        let mut out = batch.clone();
+        let s = batch.dims()[0];
+        assert_eq!(s, self.params.len(), "sample count mismatch");
+        let per = batch.len() / s;
+        for (i, p) in self.params.iter().enumerate() {
+            let seg = &mut out.data_mut()[i * per..(i + 1) * per];
+            for v in seg {
+                *v = *v * p.std + p.mean;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Tensor {
+        // Two samples, three frames, 2×2 grid; sample 1 scaled and shifted.
+        let base = Tensor::from_fn(&[3, 2, 2], |i| (i[0] * 4 + i[1] * 2 + i[2]) as f64);
+        let shifted = base.map(|v| 3.0 * v + 10.0);
+        Tensor::stack(&[base, shifted])
+    }
+
+    #[test]
+    fn first_frame_is_standardized() {
+        let b = batch();
+        let nz = Normalizer::fit(&b);
+        let out = nz.apply(&b);
+        for s in 0..2 {
+            let f0 = out.index_axis0(s).index_axis0(0);
+            assert!(f0.mean().abs() < 1e-12);
+            assert!((f0.std() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let b = batch();
+        let nz = Normalizer::fit(&b);
+        let back = nz.invert(&nz.apply(&b));
+        assert!(back.allclose(&b, 1e-12));
+    }
+
+    #[test]
+    fn params_differ_across_samples() {
+        let b = batch();
+        let nz = Normalizer::fit(&b);
+        let p0 = nz.params(0);
+        let p1 = nz.params(1);
+        assert!((p1.std / p0.std - 3.0).abs() < 1e-12);
+        assert!(p1.mean > p0.mean);
+    }
+
+    #[test]
+    fn single_params_roundtrip() {
+        let traj = Tensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64 * 2.0 + 1.0);
+        let p = NormParams::from_initial(&traj);
+        let x = traj.index_axis0(1);
+        assert!(p.invert(&p.apply(&x)).allclose(&x, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_initial_frame_rejected() {
+        let traj = Tensor::zeros(&[2, 4]);
+        NormParams::from_initial(&traj);
+    }
+}

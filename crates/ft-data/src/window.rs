@@ -1,0 +1,168 @@
+//! Windowing trajectories into (input, target) training pairs.
+//!
+//! The 2D FNO with temporal channels consumes 10 chronologically ordered
+//! snapshots as input channels and predicts the next `k` snapshots as output
+//! channels (Sec. VI-A). The models in Table I have 10 *input channels*, so
+//! each velocity component is windowed as an independent scalar trajectory
+//! (doubling the sample count), matching the paper's "trained on velocity
+//! fields" with `C_in = 10`.
+
+use ft_tensor::Tensor;
+
+/// Windowing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSpec {
+    /// Input snapshots per pair (paper: 10).
+    pub input_len: usize,
+    /// Output snapshots per pair (paper: 1–10).
+    pub output_len: usize,
+    /// Window start stride. The paper keeps the data volume fixed while
+    /// varying the output length, which corresponds to `stride = output_len`
+    /// (each target frame is consumed exactly once).
+    pub stride: usize,
+}
+
+impl WindowSpec {
+    /// Spec with the paper's input length and `stride = output_len`.
+    pub fn paper(output_len: usize) -> Self {
+        assert!(output_len >= 1, "need at least one output snapshot");
+        WindowSpec { input_len: 10, output_len, stride: output_len }
+    }
+
+    /// Number of pairs a trajectory of `t` snapshots yields.
+    pub fn count(&self, t: usize) -> usize {
+        let need = self.input_len + self.output_len;
+        if t < need {
+            0
+        } else {
+            (t - need) / self.stride + 1
+        }
+    }
+}
+
+/// One training pair: `input` is `[input_len, H, W]` (snapshots stacked as
+/// channels), `target` is `[output_len, H, W]`.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    /// Input snapshots, channel-stacked.
+    pub input: Tensor,
+    /// Target snapshots, channel-stacked.
+    pub target: Tensor,
+}
+
+/// Slices one scalar trajectory `[T, H, W]` into pairs.
+pub fn windows(traj: &Tensor, spec: &WindowSpec) -> Vec<Pair> {
+    assert_eq!(traj.shape().rank(), 3, "windows expects a [T, H, W] trajectory");
+    assert!(spec.input_len >= 1 && spec.output_len >= 1 && spec.stride >= 1, "invalid spec");
+    let t = traj.dims()[0];
+    let mut out = Vec::with_capacity(spec.count(t));
+    let mut start = 0;
+    while start + spec.input_len + spec.output_len <= t {
+        let input = slice_frames(traj, start, spec.input_len);
+        let target = slice_frames(traj, start + spec.input_len, spec.output_len);
+        out.push(Pair { input, target });
+        start += spec.stride;
+    }
+    out
+}
+
+/// Flattens a velocity batch `[S, T, 2, H, W]` into scalar trajectories
+/// `[2·S, T, H, W]` (each component becomes an independent sample).
+pub fn split_components(batch: &Tensor) -> Tensor {
+    let dims = batch.dims();
+    assert_eq!(dims.len(), 5, "expected [S, T, C, H, W]");
+    let (s, t, c, h, w) = (dims[0], dims[1], dims[2], dims[3], dims[4]);
+    let mut out = Tensor::zeros(&[s * c, t, h, w]);
+    let frame = h * w;
+    let src = batch.data();
+    let dst = out.data_mut();
+    for si in 0..s {
+        for ci in 0..c {
+            for ti in 0..t {
+                let src_off = ((si * t + ti) * c + ci) * frame;
+                let dst_off = (((si * c + ci) * t) + ti) * frame;
+                dst[dst_off..dst_off + frame].copy_from_slice(&src[src_off..src_off + frame]);
+            }
+        }
+    }
+    out
+}
+
+fn slice_frames(traj: &Tensor, start: usize, len: usize) -> Tensor {
+    let dims = traj.dims();
+    let frame: usize = dims[1..].iter().product();
+    let mut out_dims = vec![len];
+    out_dims.extend_from_slice(&dims[1..]);
+    Tensor::from_vec(
+        &out_dims,
+        traj.data()[start * frame..(start + len) * frame].to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(t: usize) -> Tensor {
+        Tensor::from_fn(&[t, 2, 2], |i| i[0] as f64)
+    }
+
+    #[test]
+    fn pair_contents_are_chronological() {
+        let spec = WindowSpec { input_len: 3, output_len: 2, stride: 2 };
+        let pairs = windows(&traj(9), &spec);
+        assert_eq!(pairs.len(), spec.count(9));
+        let p0 = &pairs[0];
+        assert_eq!(p0.input.dims(), &[3, 2, 2]);
+        assert_eq!(p0.target.dims(), &[2, 2, 2]);
+        assert_eq!(p0.input.at(&[0, 0, 0]), 0.0);
+        assert_eq!(p0.input.at(&[2, 0, 0]), 2.0);
+        assert_eq!(p0.target.at(&[0, 0, 0]), 3.0);
+        assert_eq!(p0.target.at(&[1, 0, 0]), 4.0);
+        // Second window starts at stride 2.
+        assert_eq!(pairs[1].input.at(&[0, 0, 0]), 2.0);
+    }
+
+    #[test]
+    fn fewer_outputs_give_more_pairs_from_same_volume() {
+        // The Sec. VI-A effect: same trajectory, smaller output_len (with
+        // stride = output_len) yields more pairs.
+        let t = 40;
+        let n10 = windows(&traj(t), &WindowSpec::paper(10)).len();
+        let n5 = windows(&traj(t), &WindowSpec::paper(5)).len();
+        let n1 = windows(&traj(t), &WindowSpec::paper(1)).len();
+        assert!(n1 > n5 && n5 > n10, "{n1} > {n5} > {n10} expected");
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for t in 0..30 {
+            for (il, ol, st) in [(3usize, 2usize, 2usize), (10, 5, 5), (4, 1, 1)] {
+                let spec = WindowSpec { input_len: il, output_len: ol, stride: st };
+                assert_eq!(windows(&traj(t), &spec).len(), spec.count(t), "t={t} {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_short_trajectory_gives_no_pairs() {
+        let spec = WindowSpec::paper(5);
+        assert!(windows(&traj(14), &spec).is_empty());
+        assert_eq!(spec.count(14), 0);
+    }
+
+    #[test]
+    fn split_components_layout() {
+        let batch = Tensor::from_fn(&[2, 3, 2, 2, 2], |i| {
+            (i[0] * 10000 + i[1] * 1000 + i[2] * 100 + i[3] * 10 + i[4]) as f64
+        });
+        let flat = split_components(&batch);
+        assert_eq!(flat.dims(), &[4, 3, 2, 2]);
+        // Sample 0 = (s=0, c=0): value at (t=1, y=1, x=0) is 0*10000+1*1000+0*100+10.
+        assert_eq!(flat.at(&[0, 1, 1, 0]), 1010.0);
+        // Sample 1 = (s=0, c=1).
+        assert_eq!(flat.at(&[1, 2, 0, 1]), 2101.0);
+        // Sample 2 = (s=1, c=0).
+        assert_eq!(flat.at(&[2, 0, 0, 0]), 10000.0);
+    }
+}

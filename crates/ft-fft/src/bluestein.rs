@@ -1,0 +1,157 @@
+//! Bluestein's chirp-z algorithm: an FFT of arbitrary size `n` expressed as
+//! a circular convolution of size `M ≥ 2n − 1`, with `M` a power of two so
+//! the convolution runs on the radix-2 transform.
+
+use ft_tensor::Complex64;
+
+use crate::radix2::Radix2;
+use crate::Direction;
+
+/// Precomputed state for a Bluestein transform of arbitrary size `n`.
+pub struct Bluestein {
+    n: usize,
+    m: usize,
+    /// Chirp `a_j = e^{-πi j²/n}` (forward convention).
+    chirp: Vec<Complex64>,
+    /// Forward FFT (size `m`) of the zero-padded conjugate-chirp kernel.
+    kernel_fft: Vec<Complex64>,
+    inner: Radix2,
+}
+
+impl Bluestein {
+    /// Plans a transform of size `n > 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Bluestein size must be positive");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2::new(m);
+
+        // chirp[j] = e^{-πi j²/n}; compute j² mod 2n to avoid precision loss
+        // for large j (the chirp has period 2n in j²).
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                Complex64::cis(-std::f64::consts::PI * q as f64 / n as f64)
+            })
+            .collect();
+
+        // Kernel b_j = conj(chirp[|j|]) wrapped circularly into length m.
+        let mut kernel = vec![Complex64::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for j in 1..n {
+            let c = chirp[j].conj();
+            kernel[j] = c;
+            kernel[m - j] = c;
+        }
+        inner.process(&mut kernel, Direction::Forward);
+
+        Bluestein { n, m, chirp, kernel_fft: kernel, inner }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the planned size is zero (never; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of `data` (length must equal the planned size).
+    pub fn process(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+
+        // The inverse transform of x equals conj(forward(conj(x)))/n.
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+        }
+
+        // y_j = x_j · chirp_j, zero-padded to m.
+        let mut buf = vec![Complex64::ZERO; self.m];
+        for j in 0..n {
+            buf[j] = data[j] * self.chirp[j];
+        }
+
+        // Circular convolution with the kernel via the radix-2 FFT.
+        self.inner.process(&mut buf, Direction::Forward);
+        for (b, &k) in buf.iter_mut().zip(&self.kernel_fft) {
+            *b *= k;
+        }
+        self.inner.process(&mut buf, Direction::Inverse);
+
+        // X_k = chirp_k · (y ⊛ b)_k.
+        for k in 0..n {
+            data[k] = buf[k] * self.chirp[k];
+        }
+
+        if dir == Direction::Inverse {
+            let inv = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z = z.conj() * inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).cos(), (i as f64 * 2.1).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_on_primes_and_odd_sizes() {
+        for &n in &[1usize, 2, 3, 7, 11, 13, 17, 23, 31, 61, 97, 101, 257] {
+            let plan = Bluestein::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let oracle = dft(&x, Direction::Forward);
+            for (k, (a, b)) in y.iter().zip(&oracle).enumerate() {
+                assert!((*a - *b).abs() < 1e-7 * (n as f64).max(1.0), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dft_on_composite_sizes_too() {
+        // Bluestein must be correct for any n, not just primes.
+        for &n in &[4usize, 10, 12, 100] {
+            let plan = Bluestein::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let oracle = dft(&x, Direction::Forward);
+            for (a, b) in y.iter().zip(&oracle) {
+                assert!((*a - *b).abs() < 1e-8 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[11usize, 23, 89, 127] {
+            let plan = Bluestein::new(n);
+            let x = signal(n);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Inverse);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+}

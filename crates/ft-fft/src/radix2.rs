@@ -1,0 +1,189 @@
+//! Iterative radix-2 Cooley-Tukey transform for power-of-two sizes.
+
+use ft_tensor::Complex64;
+
+use crate::Direction;
+
+/// Precomputed state for a radix-2 transform of size `n = 2^k`.
+///
+/// Holds the bit-reversal permutation and the forward twiddle table
+/// (`e^{-2πi j/n}` for `j < n/2`); the inverse reuses the table conjugated.
+pub struct Radix2 {
+    n: usize,
+    bitrev: Vec<u32>,
+    /// Forward twiddles ordered per stage: for stage length `len`, the
+    /// sub-table holds `e^{-2πi j/len}` for `j < len/2`.
+    twiddles: Vec<Complex64>,
+    /// Offset of each stage's sub-table inside `twiddles`.
+    stage_offsets: Vec<usize>,
+}
+
+impl Radix2 {
+    /// Plans a transform of size `n`. Panics unless `n` is a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "Radix2 requires a power-of-two size, got {n}");
+        let bits = n.trailing_zeros();
+        let mut bitrev = vec![0u32; n];
+        for (i, r) in bitrev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+
+        let mut twiddles = Vec::new();
+        let mut stage_offsets = Vec::new();
+        let mut len = 2usize;
+        while len <= n {
+            stage_offsets.push(twiddles.len());
+            let half = len / 2;
+            for j in 0..half {
+                let theta = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+                twiddles.push(Complex64::cis(theta));
+            }
+            len *= 2;
+        }
+
+        Radix2 { n, bitrev, twiddles, stage_offsets }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the planned size is zero (never; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of `data` (length must equal the planned size).
+    pub fn process(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        // Butterfly stages.
+        let forward = dir == Direction::Forward;
+        let mut stage = 0usize;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
+            for start in (0..n).step_by(len) {
+                for j in 0..half {
+                    let w = if forward { tw[j] } else { tw[j].conj() };
+                    let a = data[start + j];
+                    let b = data[start + j + half] * w;
+                    data[start + j] = a + b;
+                    data[start + j + half] = a - b;
+                }
+            }
+            stage += 1;
+            len *= 2;
+        }
+
+        if dir == Direction::Inverse {
+            let inv = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; avoids pulling rand into this crate.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                Complex64::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_all_pow2_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let plan = Radix2::new(n);
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let oracle = dft(&x, Direction::Forward);
+            for (a, b) in y.iter().zip(&oracle) {
+                assert!((*a - *b).abs() < 1e-8 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &n in &[2usize, 16, 64, 512] {
+            let plan = Radix2::new(n);
+            let x = rand_signal(n, 99 + n as u64);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Inverse);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let plan = Radix2::new(n);
+        let x = rand_signal(n, 3);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = Radix2::new(n);
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x * 2.0 + y).collect();
+        plan.process(&mut fa, Direction::Forward);
+        plan.process(&mut fb, Direction::Forward);
+        plan.process(&mut fab, Direction::Forward);
+        for i in 0..n {
+            let expect = fa[i] * 2.0 + fb[i];
+            assert!((fab[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        Radix2::new(12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Real-input transforms with the `torch.fft.rfft` half-spectrum layout.
+//!
+//! `rfft` maps `n` reals to the `n/2 + 1` non-redundant complex bins;
+//! `irfft` inverts it given the original length. Even sizes use the classic
+//! pack-into-half-size-complex trick (one complex FFT of size `n/2`); odd
+//! sizes fall back to a full complex transform.
+
+use ft_tensor::Complex64;
+
+use crate::plan::with_plan;
+use crate::Direction;
+
+/// Number of non-redundant spectrum bins for a real signal of length `n`.
+#[inline]
+pub fn rfft_len(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// Forward real transform: `n` reals → `n/2 + 1` complex bins
+/// (unnormalized, matching `torch.fft.rfft`).
+pub fn rfft(input: &[f64]) -> Vec<Complex64> {
+    let n = input.len();
+    assert!(n > 0, "rfft of empty signal");
+    if n == 1 {
+        return vec![Complex64::from_re(input[0])];
+    }
+    if n % 2 == 0 {
+        rfft_even(input)
+    } else {
+        // Odd length: embed into a complex transform and keep half.
+        let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
+        with_plan(n, |p| p.process(&mut buf, Direction::Forward));
+        buf.truncate(rfft_len(n));
+        buf
+    }
+}
+
+/// Inverse real transform: half spectrum (length `n/2 + 1`) → `n` reals,
+/// carrying the `1/n` normalization (matching `torch.fft.irfft`).
+///
+/// The redundant imaginary parts of the DC and (for even `n`) Nyquist bins
+/// are ignored, as in reference implementations.
+pub fn irfft(spectrum: &[Complex64], n: usize) -> Vec<f64> {
+    assert!(n > 0, "irfft target length must be positive");
+    assert_eq!(
+        spectrum.len(),
+        rfft_len(n),
+        "spectrum length {} does not match rfft_len({n}) = {}",
+        spectrum.len(),
+        rfft_len(n)
+    );
+    if n == 1 {
+        return vec![spectrum[0].re];
+    }
+    if n % 2 == 0 {
+        irfft_even(spectrum, n)
+    } else {
+        // Reconstruct the full Hermitian spectrum, then complex inverse.
+        let mut full = vec![Complex64::ZERO; n];
+        full[0] = Complex64::from_re(spectrum[0].re);
+        for k in 1..spectrum.len() {
+            full[k] = spectrum[k];
+            full[n - k] = spectrum[k].conj();
+        }
+        with_plan(n, |p| p.process(&mut full, Direction::Inverse));
+        full.into_iter().map(|z| z.re).collect()
+    }
+}
+
+fn rfft_even(input: &[f64]) -> Vec<Complex64> {
+    let n = input.len();
+    let h = n / 2;
+    // Pack even samples into the real part, odd into the imaginary part.
+    let mut z: Vec<Complex64> = (0..h)
+        .map(|j| Complex64::new(input[2 * j], input[2 * j + 1]))
+        .collect();
+    with_plan(h, |p| p.process(&mut z, Direction::Forward));
+
+    let mut out = Vec::with_capacity(h + 1);
+    for k in 0..h {
+        let zk = z[k];
+        let zc = z[(h - k) % h].conj();
+        let e = (zk + zc) * 0.5;
+        let o = (zk - zc).mul_neg_i() * 0.5;
+        let w = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+        out.push(e + w * o);
+    }
+    // Nyquist bin: X[n/2] = E[0] − O[0].
+    let z0 = z[0];
+    out.push(Complex64::from_re(z0.re - z0.im));
+    out
+}
+
+fn irfft_even(spectrum: &[Complex64], n: usize) -> Vec<f64> {
+    let h = n / 2;
+    // Recover the packed half-size spectrum Z[k] = E[k] + i·W^{-k}·O-part.
+    let mut z = Vec::with_capacity(h);
+    for k in 0..h {
+        // Force the Hermitian-redundant components to their consistent
+        // values so stray imaginary parts in bins 0 and n/2 cannot leak.
+        let xk = if k == 0 { Complex64::from_re(spectrum[0].re) } else { spectrum[k] };
+        let xc = if k == 0 {
+            Complex64::from_re(spectrum[h].re)
+        } else {
+            spectrum[h - k].conj()
+        };
+        let e = (xk + xc) * 0.5;
+        let w_inv = Complex64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64);
+        let o = (xk - xc) * 0.5 * w_inv;
+        z.push(e + o.mul_i());
+    }
+    with_plan(h, |p| p.process(&mut z, Direction::Inverse));
+
+    let mut out = Vec::with_capacity(n);
+    for zj in z {
+        out.push(zj.re);
+        out.push(zj.im);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.9).sin() + 0.3 * (i as f64 * 2.7).cos()).collect()
+    }
+
+    #[test]
+    fn rfft_matches_complex_dft_half() {
+        for &n in &[2usize, 4, 7, 8, 9, 10, 16, 33, 64] {
+            let x = signal(n);
+            let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+            let oracle = dft(&cx, Direction::Forward);
+            let half = rfft(&x);
+            assert_eq!(half.len(), rfft_len(n));
+            for (k, h) in half.iter().enumerate() {
+                assert!((*h - oracle[k]).abs() < 1e-9 * n as f64, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_even_and_odd() {
+        for &n in &[2usize, 5, 6, 10, 11, 32, 100, 101] {
+            let x = signal(n);
+            let back = irfft(&rfft(&x), n);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_symmetry_of_forward() {
+        let n = 16;
+        let x = signal(n);
+        let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let full = dft(&cx, Direction::Forward);
+        for k in 1..n / 2 {
+            assert!((full[k] - full[n - k].conj()).abs() < 1e-9);
+        }
+        // DC and Nyquist bins of a real signal are purely real.
+        let half = rfft(&x);
+        assert!(half[0].im.abs() < 1e-12);
+        assert!(half[n / 2].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let n = 12;
+        let x = vec![2.5; n];
+        let half = rfft(&x);
+        assert!((half[0].re - 2.5 * n as f64).abs() < 1e-10);
+        for h in &half[1..] {
+            assert!(h.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_for_real_transform() {
+        let n = 64;
+        let x = signal(n);
+        let half = rfft(&x);
+        let time: f64 = x.iter().map(|v| v * v).sum();
+        // Interior bins count twice (conjugate pair), DC and Nyquist once.
+        let mut freq = half[0].norm_sqr() + half[n / 2].norm_sqr();
+        for h in &half[1..n / 2] {
+            freq += 2.0 * h.norm_sqr();
+        }
+        freq /= n as f64;
+        assert!((time - freq).abs() < 1e-9 * time);
+    }
+
+    #[test]
+    fn irfft_ignores_redundant_imaginary_parts() {
+        let n = 8;
+        let x = signal(n);
+        let mut half = rfft(&x);
+        half[0].im = 42.0;
+        half[n / 2].im = -7.0;
+        let back = irfft(&half, n);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the FFT crate: every algorithm path (radix-2,
+//! mixed-radix, Bluestein) against the O(n²) DFT oracle, plus the
+//! transform identities numerical codes rely on.
+
+use ft_fft::{dft, fft_1d, irfft, irfftn, rfft, rfftn, Direction, Fft};
+use ft_tensor::{Complex64, Tensor};
+use proptest::prelude::*;
+
+fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    (0..n).map(|_| Complex64::new(next(), next())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_algorithm_matches_the_oracle(n in 1usize..96, seed in 0u64..500) {
+        let x = signal(n, seed);
+        let mut y = x.clone();
+        Fft::plan(n).process(&mut y, Direction::Forward);
+        let oracle = dft(&x, Direction::Forward);
+        for (a, b) in y.iter().zip(&oracle) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (n as f64).max(1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_any_size(n in 1usize..80, seed in 0u64..500) {
+        let x = signal(n, seed);
+        let mut y = x.clone();
+        fft_1d(&mut y, Direction::Forward);
+        let et: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ef: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((et - ef).abs() < 1e-9 * et.max(1.0));
+    }
+
+    #[test]
+    fn time_shift_is_phase_ramp(n in 2usize..64, shift in 0usize..16, seed in 0u64..100) {
+        let shift = shift % n;
+        let x = signal(n, seed);
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let mut fx = x.clone();
+        let mut fs = shifted;
+        fft_1d(&mut fx, Direction::Forward);
+        fft_1d(&mut fs, Direction::Forward);
+        for (k, (a, b)) in fx.iter().zip(&fs).enumerate() {
+            let phase = Complex64::cis(2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64);
+            prop_assert!((*b - *a * phase).abs() < 1e-8 * (n as f64), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rfft_agrees_with_complex_path(n in 1usize..70, seed in 0u64..200) {
+        let xr: Vec<f64> = signal(n, seed).iter().map(|z| z.re).collect();
+        let half = rfft(&xr);
+        let full: Vec<Complex64> = xr.iter().map(|&v| Complex64::from_re(v)).collect();
+        let oracle = dft(&full, Direction::Forward);
+        for (k, h) in half.iter().enumerate() {
+            prop_assert!((*h - oracle[k]).abs() < 1e-8 * n as f64, "n={n} k={k}");
+        }
+        let back = irfft(&half, n);
+        for (a, b) in xr.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rfftn_roundtrip_rectangular(h in 2usize..12, w in 2usize..12, seed in 0u64..100) {
+        let data: Vec<f64> = signal(h * w, seed).iter().map(|z| z.re).collect();
+        let x = Tensor::from_vec(&[h, w], data);
+        let back = irfftn(&rfftn(&x, 2), w, 2);
+        prop_assert!(back.allclose(&x, 1e-9), "{h}x{w}");
+    }
+
+    #[test]
+    fn convolution_theorem(n in 2usize..48, seed in 0u64..100) {
+        // ifft(fft(a) ⊙ fft(b)) equals the circular convolution of a and b.
+        let a = signal(n, seed);
+        let b = signal(n, seed + 7);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft_1d(&mut fa, Direction::Forward);
+        fft_1d(&mut fb, Direction::Forward);
+        let mut prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+        fft_1d(&mut prod, Direction::Inverse);
+        for k in 0..n {
+            let mut conv = Complex64::ZERO;
+            for j in 0..n {
+                conv += a[j] * b[(n + k - j) % n];
+            }
+            prop_assert!((prod[k] - conv).abs() < 1e-7 * n as f64, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Multiple-relaxation-time (MRT) collision for D2Q9
+//! (Lallemand & Luo 2000), the third standard collision operator next to
+//! BGK and the entropic model.
+//!
+//! The populations are mapped to the moment basis
+//! `(ρ, e, ε, j_x, q_x, j_y, q_y, p_xx, p_xy)`; each moment relaxes at its
+//! own rate. The shear rate `s_ν` fixes the viscosity exactly as in BGK
+//! (`ν = c_s²(1/s_ν − 1/2)`); the non-hydrodynamic ("ghost") rates are free
+//! stabilization knobs — the defaults here use the two-relaxation-time
+//! "magic" choice for the energy fluxes, which damps the staircase
+//! instabilities plain BGK develops at marginal resolution.
+
+#[cfg(test)]
+use crate::lattice::D2Q9;
+
+/// The fixed D2Q9 moment-transform matrix (rows are moments, columns the
+/// lattice directions in the [`D2Q9`] ordering).
+pub const M: [[f64; 9]; 9] = [
+    [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],   // ρ
+    [-4.0, -1.0, -1.0, -1.0, -1.0, 2.0, 2.0, 2.0, 2.0], // e
+    [4.0, -2.0, -2.0, -2.0, -2.0, 1.0, 1.0, 1.0, 1.0], // ε
+    [0.0, 1.0, 0.0, -1.0, 0.0, 1.0, -1.0, -1.0, 1.0], // j_x
+    [0.0, -2.0, 0.0, 2.0, 0.0, 1.0, -1.0, -1.0, 1.0], // q_x
+    [0.0, 0.0, 1.0, 0.0, -1.0, 1.0, 1.0, -1.0, -1.0], // j_y
+    [0.0, 0.0, -2.0, 0.0, 2.0, 1.0, 1.0, -1.0, -1.0], // q_y
+    [0.0, 1.0, -1.0, 1.0, -1.0, 0.0, 0.0, 0.0, 0.0], // p_xx
+    [0.0, 0.0, 0.0, 0.0, 0.0, 1.0, -1.0, 1.0, -1.0], // p_xy
+];
+
+/// Squared row norms of [`M`] (the matrix is row-orthogonal), used by the
+/// inverse transform `f = Mᵀ D⁻¹ m`.
+pub const ROW_NORMS: [f64; 9] = [9.0, 36.0, 36.0, 6.0, 12.0, 6.0, 12.0, 4.0, 4.0];
+
+/// Relaxation rates per moment family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MrtRates {
+    /// Energy rate `s_e` (bulk viscosity knob).
+    pub s_e: f64,
+    /// Energy-squared rate `s_ε`.
+    pub s_eps: f64,
+    /// Energy-flux rate `s_q` (ghost modes).
+    pub s_q: f64,
+    /// Shear rate `s_ν` — fixes the kinematic viscosity.
+    pub s_nu: f64,
+}
+
+impl MrtRates {
+    /// Standard stabilized rates for a given shear rate: `s_e = s_ε = s_ν`
+    /// (BGK-equal bulk response) and the TRT "magic" energy-flux rate
+    /// `s_q = 8(2 − s_ν)/(8 − s_ν)`.
+    pub fn stabilized(s_nu: f64) -> Self {
+        MrtRates { s_e: s_nu, s_eps: s_nu, s_q: 8.0 * (2.0 - s_nu) / (8.0 - s_nu), s_nu }
+    }
+
+    /// All moments relax at the same rate — exactly BGK (useful for tests).
+    pub fn bgk_equivalent(omega: f64) -> Self {
+        MrtRates { s_e: omega, s_eps: omega, s_q: omega, s_nu: omega }
+    }
+}
+
+/// Maps populations to moments: `m = M f`.
+#[inline]
+pub fn to_moments(f: &[f64; 9]) -> [f64; 9] {
+    let mut m = [0.0f64; 9];
+    for (row, mv) in M.iter().zip(m.iter_mut()) {
+        let mut acc = 0.0;
+        for i in 0..9 {
+            acc += row[i] * f[i];
+        }
+        *mv = acc;
+    }
+    m
+}
+
+/// Maps moments back to populations: `f = Mᵀ D⁻¹ m`.
+#[inline]
+pub fn from_moments(m: &[f64; 9]) -> [f64; 9] {
+    let mut f = [0.0f64; 9];
+    for (i, fv) in f.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for k in 0..9 {
+            acc += M[k][i] * m[k] / ROW_NORMS[k];
+        }
+        *fv = acc;
+    }
+    f
+}
+
+/// Equilibrium moments for density `rho` and momentum `(jx, jy)`
+/// (Lallemand-Luo second-order forms).
+#[inline]
+pub fn equilibrium_moments(rho: f64, jx: f64, jy: f64) -> [f64; 9] {
+    let j2 = jx * jx + jy * jy;
+    [
+        rho,
+        -2.0 * rho + 3.0 * j2 / rho,
+        rho - 3.0 * j2 / rho,
+        jx,
+        -jx,
+        jy,
+        -jy,
+        (jx * jx - jy * jy) / rho,
+        jx * jy / rho,
+    ]
+}
+
+/// One MRT collision on a population vector: relax each moment toward its
+/// equilibrium at its own rate, then map back.
+#[inline]
+pub fn collide(f: &[f64; 9], rates: MrtRates) -> [f64; 9] {
+    let mut m = to_moments(f);
+    let meq = equilibrium_moments(m[0], m[3], m[5]);
+    let s = [0.0, rates.s_e, rates.s_eps, 0.0, rates.s_q, 0.0, rates.s_q, rates.s_nu, rates.s_nu];
+    for k in 0..9 {
+        m[k] -= s[k] * (m[k] - meq[k]);
+    }
+    from_moments(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{equilibrium, moments};
+
+    #[test]
+    fn transform_roundtrip_is_identity() {
+        let f = [0.4, 0.11, 0.12, 0.105, 0.09, 0.03, 0.025, 0.028, 0.031];
+        let back = from_moments(&to_moments(&f));
+        for i in 0..9 {
+            assert!((back[i] - f[i]).abs() < 1e-14, "direction {i}");
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal_with_listed_norms() {
+        for a in 0..9 {
+            for b in 0..9 {
+                let dot: f64 = (0..9).map(|i| M[a][i] * M[b][i]).sum();
+                let expect = if a == b { ROW_NORMS[a] } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-12, "rows {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn moment_rows_match_lattice_definitions() {
+        // Row 3/5 are the momentum sums; verify against the velocity table.
+        for i in 0..9 {
+            assert_eq!(M[3][i], D2Q9::CX[i] as f64);
+            assert_eq!(M[5][i], D2Q9::CY[i] as f64);
+            assert_eq!(M[0][i], 1.0);
+            // p_xx row is cx² − cy².
+            assert_eq!(M[7][i], (D2Q9::CX[i] * D2Q9::CX[i] - D2Q9::CY[i] * D2Q9::CY[i]) as f64);
+            // p_xy row is cx·cy.
+            assert_eq!(M[8][i], (D2Q9::CX[i] * D2Q9::CY[i]) as f64);
+        }
+    }
+
+    #[test]
+    fn collision_conserves_mass_and_momentum() {
+        let f = [0.44, 0.1, 0.12, 0.11, 0.09, 0.031, 0.029, 0.027, 0.033];
+        let (r0, jx0, jy0) = moments(&f);
+        let post = collide(&f, MrtRates::stabilized(1.7));
+        let (r1, jx1, jy1) = moments(&post);
+        assert!((r0 - r1).abs() < 1e-14);
+        assert!((jx0 - jx1).abs() < 1e-14);
+        assert!((jy0 - jy1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn equal_rates_reduce_to_bgk_with_polynomial_equilibrium() {
+        // With all rates = ω, MRT relaxes every non-conserved moment toward
+        // the *second-order* equilibrium — i.e. BGK with the polynomial
+        // f^eq. Verify against the O(u²) expansion of the entropic
+        // equilibrium at small velocity.
+        let (rho, ux, uy) = (1.0, 0.01, -0.005);
+        let f = equilibrium(rho, ux, uy);
+        let omega = 1.3;
+        let post = collide(&f, MrtRates::bgk_equivalent(omega));
+        // BGK from the same state with polynomial equilibrium:
+        let mut poly = [0.0f64; 9];
+        for i in 0..9 {
+            let cu = D2Q9::CX[i] as f64 * ux + D2Q9::CY[i] as f64 * uy;
+            let u2 = ux * ux + uy * uy;
+            poly[i] = rho * D2Q9::W[i] * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * u2);
+        }
+        for i in 0..9 {
+            let bgk = f[i] + omega * (poly[i] - f[i]);
+            // The entropic equilibrium differs from polynomial at O(u³).
+            assert!((post[i] - bgk).abs() < 1e-6, "direction {i}: {} vs {bgk}", post[i]);
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point() {
+        // The polynomial-equilibrium moments must be invariant under
+        // collision (relaxing toward themselves).
+        let meq = equilibrium_moments(1.2, 0.03, -0.02);
+        let f = from_moments(&meq);
+        let post = collide(&f, MrtRates::stabilized(1.9));
+        for i in 0..9 {
+            assert!((post[i] - f[i]).abs() < 1e-14, "direction {i}");
+        }
+    }
+}

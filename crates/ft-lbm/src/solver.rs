@@ -1,0 +1,713 @@
+//! The entropic lattice Boltzmann solver: collide-and-stream on a periodic
+//! box, with the entropic α-stabilizer.
+
+use ft_tensor::Tensor;
+use rayon::prelude::*;
+
+use crate::force::{guo_source, BodyForce};
+use crate::lattice::{equilibrium, h_function, moments, D2Q9};
+use crate::mrt::{self, MrtRates};
+
+/// Collision operator selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Collision {
+    /// Single-relaxation-time BGK (α = 2).
+    Bgk,
+    /// Entropic stabilizer: α from the H-theorem equality (the paper's
+    /// generator).
+    Entropic,
+    /// Multiple-relaxation-time with TRT-magic ghost rates.
+    Mrt,
+}
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct LbmConfig {
+    /// Grid points per side (square periodic domain).
+    pub n: usize,
+    /// Kinematic viscosity in lattice units.
+    pub nu: f64,
+    /// Characteristic velocity (lattice units) used to define the convective
+    /// time `t_c = n / u0`.
+    pub u0: f64,
+    /// Collision operator.
+    pub collision: Collision,
+}
+
+impl LbmConfig {
+    /// Configuration matching the paper's setup, scaled to grid size `n`:
+    /// Mach ≈ 0.05 and a viscosity that lands the Reynolds number
+    /// `Re = u0·n/ν` in the requested band.
+    pub fn with_reynolds(n: usize, reynolds: f64) -> Self {
+        let u0 = 0.05;
+        let nu = u0 * n as f64 / reynolds;
+        LbmConfig { n, nu, u0, collision: Collision::Entropic }
+    }
+
+    /// BGK relaxation frequency ω = 1/τ implied by the viscosity:
+    /// `ν = c_s² (τ − 1/2)`.
+    pub fn omega(&self) -> f64 {
+        1.0 / (self.nu / D2Q9::CS2 + 0.5)
+    }
+
+    /// Convective time `t_c = L/U₀` in lattice steps.
+    pub fn t_c(&self) -> f64 {
+        self.n as f64 / self.u0
+    }
+
+    /// Reynolds number `U₀·L/ν` implied by the configuration.
+    pub fn reynolds(&self) -> f64 {
+        self.u0 * self.n as f64 / self.nu
+    }
+}
+
+/// Entropic lattice Boltzmann solver on an `n × n` periodic grid.
+///
+/// Populations are stored structure-of-arrays: nine contiguous planes of
+/// `n·n` values, so streaming is a cache-friendly shifted copy per plane and
+/// collision reads one strided gather per cell.
+pub struct Lbm {
+    cfg: LbmConfig,
+    /// `Q` planes, each `n·n`, row-major (y major, x minor).
+    f: Vec<f64>,
+    /// Streaming scratch (same layout).
+    scratch: Vec<f64>,
+    /// Number of collide-stream steps taken.
+    steps: u64,
+    /// Optional body force (Guo scheme).
+    force: Option<BodyForce>,
+}
+
+impl Lbm {
+    /// Creates a solver initialized to rest (ρ = 1, u = 0).
+    pub fn new(cfg: LbmConfig) -> Self {
+        let plane = cfg.n * cfg.n;
+        let mut f = vec![0.0; D2Q9::Q * plane];
+        for i in 0..D2Q9::Q {
+            let w = D2Q9::W[i];
+            f[i * plane..(i + 1) * plane].iter_mut().for_each(|v| *v = w);
+        }
+        let scratch = vec![0.0; D2Q9::Q * plane];
+        Lbm { cfg, f, scratch, steps: 0, force: None }
+    }
+
+    /// Installs a stationary body force (Guo forcing scheme) — the
+    /// forced-turbulence extension. Pass fields of shape `[n, n]`.
+    pub fn set_force(&mut self, force: BodyForce) {
+        let n = self.cfg.n;
+        assert_eq!(force.fx.dims(), &[n, n], "force fx shape");
+        assert_eq!(force.fy.dims(), &[n, n], "force fy shape");
+        self.force = Some(force);
+    }
+
+    /// Removes any installed body force.
+    pub fn clear_force(&mut self) {
+        self.force = None;
+    }
+
+    /// The configuration this solver was built with.
+    pub fn config(&self) -> &LbmConfig {
+        &self.cfg
+    }
+
+    /// Steps taken since construction.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Elapsed time in convective units `t/t_c`.
+    pub fn time_convective(&self) -> f64 {
+        self.steps as f64 / self.cfg.t_c()
+    }
+
+    /// Initializes populations to the entropic equilibrium of the given
+    /// velocity field at unit density. Field shapes must be `[n, n]`.
+    pub fn set_velocity(&mut self, ux: &Tensor, uy: &Tensor) {
+        let n = self.cfg.n;
+        assert_eq!(ux.dims(), &[n, n], "ux shape");
+        assert_eq!(uy.dims(), &[n, n], "uy shape");
+        let plane = n * n;
+        for idx in 0..plane {
+            let feq = equilibrium(1.0, ux.data()[idx], uy.data()[idx]);
+            for i in 0..D2Q9::Q {
+                self.f[i * plane + idx] = feq[i];
+            }
+        }
+        self.steps = 0;
+    }
+
+    /// Extracts the macroscopic density and velocity fields.
+    pub fn macros(&self) -> (Tensor, Tensor, Tensor) {
+        let n = self.cfg.n;
+        let plane = n * n;
+        let mut rho = vec![0.0; plane];
+        let mut ux = vec![0.0; plane];
+        let mut uy = vec![0.0; plane];
+        for idx in 0..plane {
+            let mut fi = [0.0f64; 9];
+            for i in 0..D2Q9::Q {
+                fi[i] = self.f[i * plane + idx];
+            }
+            let (r, mut jx, mut jy) = moments(&fi);
+            // Guo scheme: the physical velocity includes half the force.
+            if let Some(fc) = &self.force {
+                jx += 0.5 * fc.fx.data()[idx];
+                jy += 0.5 * fc.fy.data()[idx];
+            }
+            rho[idx] = r;
+            ux[idx] = jx / r;
+            uy[idx] = jy / r;
+        }
+        (
+            Tensor::from_vec(&[n, n], rho),
+            Tensor::from_vec(&[n, n], ux),
+            Tensor::from_vec(&[n, n], uy),
+        )
+    }
+
+    /// Velocity fields only (`(ux, uy)`).
+    pub fn velocity(&self) -> (Tensor, Tensor) {
+        let (_, ux, uy) = self.macros();
+        (ux, uy)
+    }
+
+    /// Advances the solution by one collide-and-stream step.
+    pub fn step(&mut self) {
+        self.collide();
+        self.stream();
+        self.steps += 1;
+    }
+
+    /// Advances by `k` steps.
+    pub fn run(&mut self, k: usize) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Advances until `t/t_c` first reaches or exceeds `t_conv`.
+    pub fn run_convective(&mut self, t_conv: f64) {
+        let target = (t_conv * self.cfg.t_c()).round() as u64;
+        while self.steps < target {
+            self.step();
+        }
+    }
+
+    /// Collision: `f ← f + αβ (f^eq − f)` per cell, rayon-parallel over rows.
+    fn collide(&mut self) {
+        let n = self.cfg.n;
+        let plane = n * n;
+        let beta = self.cfg.omega() / 2.0;
+        let collision = self.cfg.collision;
+        let mrt_rates = MrtRates::stabilized(self.cfg.omega());
+
+        // Split the nine planes into row bands processed in parallel. Each
+        // band owns the same row range in every plane; to satisfy the borrow
+        // checker we work through raw row indices on the flat buffer with a
+        // per-row gather/scatter.
+        let f = &mut self.f;
+        // SAFETY-free approach: process rows in parallel using split_at_mut
+        // is awkward across planes; instead, parallelize with chunks over a
+        // row-index range and use interior pointers via `par_iter` on an
+        // index range plus unsafe-free copy in/out through a locals buffer.
+        // We copy each cell's 9 populations into a stack array, relax, and
+        // write back. The write targets are disjoint per cell, so we use
+        // `par_chunks_mut` on a transposed view instead: build is avoided by
+        // processing rows serially inside a parallel pass over bands of the
+        // *cell* index space via pointer arithmetic hidden behind chunks.
+        //
+        // Simpler and safe: reorder the loop so parallelism is over the
+        // scratch buffer (cell-major), then scatter back plane-major.
+        let force = self.force.as_ref();
+        let scratch = &mut self.scratch;
+        scratch
+            .par_chunks_mut(D2Q9::Q)
+            .enumerate()
+            .for_each(|(idx, cell)| {
+                let mut fi = [0.0f64; 9];
+                for i in 0..D2Q9::Q {
+                    fi[i] = f[i * plane + idx];
+                }
+                let (rho, jx, jy) = moments(&fi);
+                let (fx, fy) = match force {
+                    Some(fc) => (fc.fx.data()[idx], fc.fy.data()[idx]),
+                    None => (0.0, 0.0),
+                };
+                // Guo velocity shift: equilibrium evaluated at the
+                // force-corrected velocity.
+                let ux = (jx + 0.5 * fx) / rho;
+                let uy = (jy + 0.5 * fy) / rho;
+
+                if collision == Collision::Mrt {
+                    // MRT path: moment-space relaxation; the Guo source is
+                    // applied in population space with the shear-rate
+                    // prefactor (exact for the hydrodynamic moments).
+                    let post = mrt::collide(&fi, mrt_rates);
+                    if fx != 0.0 || fy != 0.0 {
+                        let src = guo_source(0.5 * self_omega(mrt_rates), ux, uy, fx, fy);
+                        for i in 0..D2Q9::Q {
+                            cell[i] = post[i] + src[i];
+                        }
+                    } else {
+                        cell.copy_from_slice(&post);
+                    }
+                    return;
+                }
+
+                let feq = equilibrium(rho, ux, uy);
+                let mut delta = [0.0f64; 9];
+                for i in 0..D2Q9::Q {
+                    delta[i] = feq[i] - fi[i];
+                }
+                let alpha = if collision == Collision::Entropic {
+                    entropic_alpha(&fi, &delta)
+                } else {
+                    2.0
+                };
+                let ab = alpha * beta;
+                if fx != 0.0 || fy != 0.0 {
+                    let src = guo_source(0.5 * ab, ux, uy, fx, fy);
+                    for i in 0..D2Q9::Q {
+                        cell[i] = fi[i] + ab * delta[i] + src[i];
+                    }
+                } else {
+                    for i in 0..D2Q9::Q {
+                        cell[i] = fi[i] + ab * delta[i];
+                    }
+                }
+            });
+        // Scatter back to plane-major layout.
+        for i in 0..D2Q9::Q {
+            let (head, _) = f.split_at_mut((i + 1) * plane);
+            let dst = &mut head[i * plane..];
+            for idx in 0..plane {
+                dst[idx] = scratch[idx * D2Q9::Q + i];
+            }
+        }
+    }
+
+    /// Streaming: periodic shift of each plane by its lattice velocity.
+    fn stream(&mut self) {
+        let n = self.cfg.n;
+        let plane = n * n;
+        let f = &self.f;
+        let scratch = &mut self.scratch;
+
+        scratch
+            .par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(i, dst)| {
+                let src = &f[i * plane..(i + 1) * plane];
+                let cx = D2Q9::CX[i];
+                let cy = D2Q9::CY[i];
+                if cx == 0 && cy == 0 {
+                    dst.copy_from_slice(src);
+                    return;
+                }
+                for y in 0..n {
+                    let sy = ((y as i32 - cy).rem_euclid(n as i32)) as usize;
+                    let drow = y * n;
+                    let srow = sy * n;
+                    if cx == 0 {
+                        dst[drow..drow + n].copy_from_slice(&src[srow..srow + n]);
+                    } else {
+                        let shift = cx.rem_euclid(n as i32) as usize;
+                        // dst[y][x] = src[sy][x - cx mod n]
+                        // => dst row is src row rotated right by cx.
+                        dst[drow + shift..drow + n].copy_from_slice(&src[srow..srow + n - shift]);
+                        dst[drow..drow + shift].copy_from_slice(&src[srow + n - shift..srow + n]);
+                    }
+                }
+            });
+        std::mem::swap(&mut self.f, &mut self.scratch);
+    }
+
+    /// Total mass on the lattice (conserved exactly by collide and stream).
+    pub fn total_mass(&self) -> f64 {
+        self.f[..D2Q9::Q * self.cfg.n * self.cfg.n].iter().sum()
+    }
+
+    /// Total momentum on the lattice (conserved by collide and stream on a
+    /// periodic box).
+    pub fn total_momentum(&self) -> (f64, f64) {
+        let plane = self.cfg.n * self.cfg.n;
+        let mut jx = 0.0;
+        let mut jy = 0.0;
+        for i in 0..D2Q9::Q {
+            let s: f64 = self.f[i * plane..(i + 1) * plane].iter().sum();
+            jx += s * D2Q9::CX[i] as f64;
+            jy += s * D2Q9::CY[i] as f64;
+        }
+        (jx, jy)
+    }
+}
+
+#[inline]
+fn self_omega(r: MrtRates) -> f64 {
+    r.s_nu
+}
+
+/// Solves the entropy-equality `H(f + αΔ) = H(f)` for the nontrivial root α.
+///
+/// Newton iteration on `G(α) = H(f + αΔ) − H(f)` starting from the BGK value
+/// α = 2, guarded by the positivity barrier (any step that would make a
+/// population non-positive is halved). Returns 2 when the nonequilibrium is
+/// tiny (the entropic correction is then below floating-point noise).
+pub fn entropic_alpha(f: &[f64; 9], delta: &[f64; 9]) -> f64 {
+    let dnorm: f64 = delta.iter().map(|d| d * d).sum::<f64>().sqrt();
+    let fnorm: f64 = f.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // Tiny nonequilibrium: G(2) is below floating-point noise; the entropic
+    // correction is meaningless and BGK is exact to machine precision.
+    if dnorm < 1e-7 * fnorm.max(1e-300) {
+        return 2.0;
+    }
+
+    let h0 = h_function(f);
+    if !h0.is_finite() {
+        // Already infeasible populations (shouldn't happen in a stable run);
+        // fall back to BGK rather than propagate infinities.
+        return 2.0;
+    }
+
+    let g = |alpha: f64| -> f64 {
+        let mut fa = [0.0f64; 9];
+        for i in 0..9 {
+            fa[i] = f[i] + alpha * delta[i];
+        }
+        h_function(&fa) - h0
+    };
+
+    // G is convex with G(0) = 0 and G(1) = H(f^eq) − H(f) ≤ 0, so the
+    // nontrivial root lies in (1, ∞). Bracket it: grow `hi` until G(hi) > 0
+    // or positivity fails (then the root is capped by the barrier).
+    let noise = 1e-13 * h0.abs().max(1.0);
+    let lo0 = 1.0;
+    let mut hi = 2.0;
+    let mut g_hi = g(hi);
+    if g_hi.abs() <= noise {
+        return 2.0; // entropy equality already holds at BGK within noise
+    }
+    let mut lo = lo0;
+    if g_hi < 0.0 {
+        // Root above 2: expand, guarded by positivity (G = ∞ past the barrier).
+        for _ in 0..20 {
+            lo = hi;
+            hi *= 1.25;
+            g_hi = g(hi);
+            if g_hi > 0.0 {
+                break;
+            }
+        }
+        if !g_hi.is_finite() {
+            // Positivity barrier before the entropy root: shrink hi to the
+            // largest feasible α by bisection against feasibility.
+            let mut flo = lo;
+            let mut fhi = hi;
+            for _ in 0..60 {
+                let mid = 0.5 * (flo + fhi);
+                if g(mid).is_finite() {
+                    flo = mid;
+                } else {
+                    fhi = mid;
+                }
+            }
+            return flo.max(1.0);
+        }
+        if g_hi < 0.0 {
+            return hi; // never found a sign change; cap at the expanded value
+        }
+    } else if !g_hi.is_finite() {
+        // α = 2 already infeasible: largest feasible α in (1, 2).
+        let mut flo = lo0;
+        let mut fhi = 2.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (flo + fhi);
+            if g(mid).is_finite() {
+                flo = mid;
+            } else {
+                fhi = mid;
+            }
+        }
+        return flo;
+    }
+
+    // Bisection on [lo, hi] with G(lo) ≤ 0 < G(hi); 50 iterations give
+    // double-precision accuracy and unconditional convergence.
+    let mut g_lo = g(lo);
+    if g_lo > 0.0 {
+        // Degenerate bracket (can only arise from noise); BGK is safe.
+        return 2.0;
+    }
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        let gm = g(mid);
+        if !gm.is_finite() || gm > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            g_lo = gm;
+        }
+    }
+    let _ = g_lo;
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::vorticity;
+    use crate::ic::IcSpec;
+    use std::f64::consts::PI;
+
+    fn taylor_green(n: usize, u0: f64) -> (Tensor, Tensor) {
+        let k = 2.0 * PI / n as f64;
+        let ux = Tensor::from_fn(&[n, n], |i| {
+            let (y, x) = (i[0] as f64, i[1] as f64);
+            -u0 * (k * x).cos() * (k * y).sin()
+        });
+        let uy = Tensor::from_fn(&[n, n], |i| {
+            let (y, x) = (i[0] as f64, i[1] as f64);
+            u0 * (k * x).sin() * (k * y).cos()
+        });
+        (ux, uy)
+    }
+
+    #[test]
+    fn conservation_of_mass_and_momentum() {
+        let cfg = LbmConfig { n: 32, nu: 0.01, u0: 0.05, collision: Collision::Entropic };
+        let mut lbm = Lbm::new(cfg);
+        let spec = IcSpec::default();
+        let (ux, uy) = spec.generate(32, 0.05, 42);
+        lbm.set_velocity(&ux, &uy);
+        let m0 = lbm.total_mass();
+        let (jx0, jy0) = lbm.total_momentum();
+        lbm.run(50);
+        let m1 = lbm.total_mass();
+        let (jx1, jy1) = lbm.total_momentum();
+        assert!((m0 - m1).abs() < 1e-9 * m0, "mass drift {}", (m0 - m1).abs());
+        assert!((jx0 - jx1).abs() < 1e-9 && (jy0 - jy1).abs() < 1e-9, "momentum drift");
+    }
+
+    #[test]
+    fn taylor_green_viscous_decay_rate() {
+        // The Taylor-Green vortex decays as e^{-2νk²t}; measure ν from the
+        // kinetic-energy decay and compare with the configured viscosity.
+        let n = 64;
+        let nu = 0.02;
+        let cfg = LbmConfig { n, nu, u0: 0.02, collision: Collision::Bgk };
+        let mut lbm = Lbm::new(cfg);
+        let (ux, uy) = taylor_green(n, 0.02);
+        lbm.set_velocity(&ux, &uy);
+
+        let e = |l: &Lbm| {
+            let (ux, uy) = l.velocity();
+            ux.data().iter().map(|v| v * v).sum::<f64>()
+                + uy.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let e0 = e(&lbm);
+        let steps = 200;
+        lbm.run(steps);
+        let e1 = e(&lbm);
+        let k = 2.0 * PI / n as f64;
+        let measured_nu = -(e1 / e0).ln() / (4.0 * k * k * steps as f64);
+        let rel_err = (measured_nu - nu).abs() / nu;
+        assert!(rel_err < 0.05, "measured ν = {measured_nu}, expected {nu} (rel {rel_err})");
+    }
+
+    #[test]
+    fn entropic_matches_bgk_in_resolved_regime() {
+        // Well-resolved flow: α should stay ≈ 2 and the entropic run should
+        // track BGK closely.
+        let n = 32;
+        let mk = |collision| {
+            let cfg = LbmConfig { n, nu: 0.02, u0: 0.02, collision };
+            let mut l = Lbm::new(cfg);
+            let (ux, uy) = taylor_green(n, 0.02);
+            l.set_velocity(&ux, &uy);
+            l.run(100);
+            l.velocity()
+        };
+        let (uxa, uya) = mk(Collision::Entropic);
+        let (uxb, uyb) = mk(Collision::Bgk);
+        let diff = uxa.sub(&uxb).norm_l2() / uxb.norm_l2().max(1e-300);
+        assert!(diff < 1e-4, "entropic deviates from BGK in resolved regime: {diff}");
+        let _ = (uya, uyb);
+    }
+
+    #[test]
+    fn entropic_alpha_near_two_for_small_nonequilibrium() {
+        let f = equilibrium(1.0, 0.03, -0.02);
+        let target = equilibrium(1.0, 0.0301, -0.0199);
+        let mut delta = [0.0; 9];
+        for i in 0..9 {
+            delta[i] = target[i] - f[i];
+        }
+        let alpha = entropic_alpha(&f, &delta);
+        assert!((alpha - 2.0).abs() < 0.05, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn entropic_alpha_respects_positivity() {
+        // Construct a strong nonequilibrium where α = 2 would drive a
+        // population negative; the solver must return a smaller, positive α.
+        let feq = equilibrium(1.0, 0.0, 0.0);
+        let mut f = feq;
+        f[1] = 0.02;
+        f[3] = f[3] + (feq[1] - 0.02); // keep mass
+        let mut delta = [0.0; 9];
+        let (rho, jx, jy) = moments(&f);
+        let eq = equilibrium(rho, jx / rho, jy / rho);
+        for i in 0..9 {
+            delta[i] = eq[i] - f[i];
+        }
+        let alpha = entropic_alpha(&f, &delta);
+        assert!(alpha > 0.0 && alpha <= 2.5);
+        for i in 0..9 {
+            assert!(f[i] + alpha * 0.5 * delta[i] > 0.0, "population {i} went negative");
+        }
+    }
+
+    #[test]
+    fn decaying_turbulence_loses_enstrophy() {
+        let cfg = LbmConfig::with_reynolds(48, 1000.0);
+        let mut lbm = Lbm::new(cfg);
+        let spec = IcSpec::default();
+        let (ux, uy) = spec.generate(48, 0.05, 7);
+        lbm.set_velocity(&ux, &uy);
+        let enst = |l: &Lbm| {
+            let (ux, uy) = l.velocity();
+            let w = vorticity(&ux, &uy);
+            w.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        lbm.run(20); // let initialization transients settle
+        let z0 = enst(&lbm);
+        lbm.run(400);
+        let z1 = enst(&lbm);
+        assert!(z1 < z0, "enstrophy must decay: {z0} -> {z1}");
+        assert!(z1 > 0.0);
+    }
+
+    #[test]
+    fn streaming_is_exact_translation() {
+        // With collision disabled (ν → ∞ isn't expressible; instead check one
+        // stream step directly): initialize a delta bump in plane 1 (c=(1,0))
+        // and verify it moves one cell in +x.
+        let cfg = LbmConfig { n: 8, nu: 0.05, u0: 0.05, collision: Collision::Bgk };
+        let mut lbm = Lbm::new(cfg);
+        let plane = 64;
+        lbm.f[plane + (3 * 8 + 2)] += 0.5; // plane 1, y=3, x=2
+        lbm.stream();
+        assert!((lbm.f[plane + (3 * 8 + 3)] - (D2Q9::W[1] + 0.5)).abs() < 1e-15);
+        assert!((lbm.f[plane + (3 * 8 + 2)] - D2Q9::W[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn config_derived_quantities() {
+        let cfg = LbmConfig::with_reynolds(256, 7500.0);
+        assert!((cfg.reynolds() - 7500.0).abs() < 1e-9);
+        assert!((cfg.t_c() - 256.0 / 0.05).abs() < 1e-12);
+        let omega = cfg.omega();
+        assert!(omega > 0.0 && omega < 2.0);
+    }
+
+    #[test]
+    fn uniform_force_accelerates_linearly() {
+        use crate::force::BodyForce;
+        let n = 16;
+        let g = 1e-6;
+        let cfg = LbmConfig { n, nu: 0.02, u0: 0.05, collision: Collision::Bgk };
+        let mut lbm = Lbm::new(cfg);
+        lbm.set_force(BodyForce::uniform(n, g, 0.0));
+        let steps = 200;
+        lbm.run(steps);
+        let (ux, uy) = lbm.velocity();
+        // With no walls the whole fluid accelerates: the momentum after t
+        // steps is g·t and the Guo physical velocity adds the half-force
+        // shift, so u = g·(t + ½) exactly.
+        let expect = g * (steps as f64 + 0.5);
+        assert!(
+            (ux.mean() - expect).abs() < 1e-9 * expect,
+            "mean ux {} vs {expect}",
+            ux.mean()
+        );
+        assert!(uy.mean().abs() < 1e-15);
+    }
+
+    #[test]
+    fn kolmogorov_forcing_reaches_laminar_balance() {
+        use crate::force::BodyForce;
+        let n = 32;
+        let nu = 0.05;
+        let amp = 1e-6;
+        let k = 1usize;
+        let cfg = LbmConfig { n, nu, u0: 0.05, collision: Collision::Bgk };
+        let mut lbm = Lbm::new(cfg);
+        lbm.set_force(BodyForce::kolmogorov(n, k, amp));
+        // Laminar balance: ν k² u = F  →  u_x(y) = A sin(ky)/(ν k²).
+        let kf = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        let tau = 1.0 / (nu * kf * kf);
+        lbm.run((10.0 * tau) as usize);
+        let (ux, _) = lbm.velocity();
+        let expect = Tensor::from_fn(&[n, n], |i| amp * tau * (kf * i[0] as f64).sin());
+        let err = ux.sub(&expect).norm_l2() / expect.norm_l2();
+        assert!(err < 0.02, "Kolmogorov profile error {err}");
+    }
+
+    #[test]
+    fn clear_force_stops_acceleration() {
+        use crate::force::BodyForce;
+        let n = 8;
+        let cfg = LbmConfig { n, nu: 0.02, u0: 0.05, collision: Collision::Bgk };
+        let mut lbm = Lbm::new(cfg);
+        lbm.set_force(BodyForce::uniform(n, 1e-6, 0.0));
+        lbm.run(50);
+        lbm.clear_force();
+        let (ux1, _) = lbm.velocity();
+        lbm.run(50);
+        let (ux2, _) = lbm.velocity();
+        assert!((ux2.mean() - ux1.mean()).abs() < 1e-15, "no further acceleration");
+    }
+
+    #[test]
+    fn mrt_taylor_green_viscosity_matches() {
+        // The MRT shear rate fixes the viscosity exactly as in BGK.
+        let n = 64;
+        let nu = 0.02;
+        let cfg = LbmConfig { n, nu, u0: 0.02, collision: Collision::Mrt };
+        let mut lbm = Lbm::new(cfg);
+        let (ux, uy) = taylor_green(n, 0.02);
+        lbm.set_velocity(&ux, &uy);
+        let e = |l: &Lbm| {
+            let (ux, uy) = l.velocity();
+            ux.data().iter().map(|v| v * v).sum::<f64>()
+                + uy.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let e0 = e(&lbm);
+        let steps = 200;
+        lbm.run(steps);
+        let e1 = e(&lbm);
+        let k = 2.0 * PI / n as f64;
+        let measured_nu = -(e1 / e0).ln() / (4.0 * k * k * steps as f64);
+        let rel = (measured_nu - nu).abs() / nu;
+        assert!(rel < 0.05, "MRT measured ν = {measured_nu} vs {nu} (rel {rel})");
+    }
+
+    #[test]
+    fn mrt_tracks_bgk_in_resolved_regime() {
+        let n = 32;
+        let mk = |collision| {
+            let cfg = LbmConfig { n, nu: 0.02, u0: 0.02, collision };
+            let mut l = Lbm::new(cfg);
+            let (ux, uy) = taylor_green(n, 0.02);
+            l.set_velocity(&ux, &uy);
+            l.run(100);
+            l.velocity()
+        };
+        let (uxa, _) = mk(Collision::Mrt);
+        let (uxb, _) = mk(Collision::Bgk);
+        // Same hydrodynamics; the ghost-mode rates differ only at the
+        // non-hydrodynamic level, plus the O(u³) equilibrium difference.
+        let diff = uxa.sub(&uxb).norm_l2() / uxb.norm_l2().max(1e-300);
+        assert!(diff < 1e-2, "MRT deviates from BGK in resolved regime: {diff}");
+    }
+}

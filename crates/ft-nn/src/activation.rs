@@ -1,0 +1,112 @@
+//! GELU activation (tanh form), used between the Fourier layers and inside
+//! the projection MLP, as in the `neuraloperator` reference implementation.
+
+use ft_tensor::Tensor;
+
+use crate::param::ParamMut;
+use crate::Layer;
+
+/// `gelu(x) = 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+#[derive(Default)]
+pub struct Gelu {
+    cache_input: Option<Tensor>,
+}
+
+const C: f64 = 0.797_884_560_802_865_4; // sqrt(2/π)
+const A: f64 = 0.044715;
+
+impl Gelu {
+    /// A fresh activation layer (stateless apart from the backward cache).
+    pub fn new() -> Self {
+        Gelu::default()
+    }
+
+    /// Scalar forward value.
+    #[inline]
+    pub fn value(x: f64) -> f64 {
+        0.5 * x * (1.0 + (C * (x + A * x * x * x)).tanh())
+    }
+
+    /// Scalar derivative.
+    #[inline]
+    pub fn derivative(x: f64) -> f64 {
+        let u = C * (x + A * x * x * x);
+        let t = u.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * A * x * x)
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        x.map(Self::value)
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_input = Some(x.clone());
+        x.map(Self::value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_input
+            .take()
+            .expect("backward called without a cached forward");
+        x.zip_map(grad_out, |xv, gv| Self::derivative(xv) * gv)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamMut<'_>)) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_input_gradient;
+
+    #[test]
+    fn known_values() {
+        // gelu(0) = 0; gelu(+∞) → x; gelu is odd-ish around 0 only approximately.
+        assert_eq!(Gelu::value(0.0), 0.0);
+        assert!((Gelu::value(10.0) - 10.0).abs() < 1e-9);
+        assert!(Gelu::value(-10.0).abs() < 1e-9);
+        // Reference value (PyTorch tanh-approx gelu(1.0) ≈ 0.841192).
+        assert!((Gelu::value(1.0) - 0.841192).abs() < 1e-5);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &x in &[-3.0, -1.0, -0.1, 0.0, 0.2, 1.0, 2.5] {
+            let eps = 1e-6;
+            let num = (Gelu::value(x + eps) - Gelu::value(x - eps)) / (2.0 * eps);
+            assert!(
+                (Gelu::derivative(x) - num).abs() < 1e-8,
+                "x={x}: {} vs {num}",
+                Gelu::derivative(x)
+            );
+        }
+    }
+
+    #[test]
+    fn layer_gradcheck() {
+        let mut layer = Gelu::new();
+        let x = Tensor::from_fn(&[2, 3, 4], |i| {
+            (i[0] as f64 - 0.5) * 0.8 + i[1] as f64 * 0.3 - i[2] as f64 * 0.2
+        });
+        check_input_gradient(&mut layer, &x, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn monotone_on_positive_axis() {
+        let mut prev = Gelu::value(0.0);
+        for i in 1..100 {
+            let v = Gelu::value(i as f64 * 0.1);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

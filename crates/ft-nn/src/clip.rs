@@ -1,0 +1,85 @@
+//! Global-norm gradient clipping (the `torch.nn.utils.clip_grad_norm_`
+//! analogue), a standard guard for long-schedule training runs.
+
+use crate::param::ParamMut;
+use crate::Layer;
+
+/// Euclidean norm of all gradients in the model (complex entries contribute
+/// both components).
+pub fn global_grad_norm(model: &mut dyn Layer) -> f64 {
+    let mut acc = 0.0;
+    model.visit_params(&mut |p| match p {
+        ParamMut::Real { grad, .. } => {
+            acc += grad.data().iter().map(|g| g * g).sum::<f64>();
+        }
+        ParamMut::Complex { grad, .. } => {
+            acc += grad.data().iter().map(|g| g.norm_sqr()).sum::<f64>();
+        }
+    });
+    acc.sqrt()
+}
+
+/// Scales all gradients so their global norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = global_grad_norm(model);
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| match p {
+            ParamMut::Real { grad, .. } => grad.scale_inplace(scale),
+            ParamMut::Complex { grad, .. } => grad.scale_inplace(scale),
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use ft_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_with_grads() -> Linear {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::full(&[1, 2, 4], 1.0);
+        let y = l.forward(&x);
+        let _ = l.backward(&y.scale(10.0));
+        l
+    }
+
+    #[test]
+    fn norm_matches_manual_sum() {
+        let mut l = layer_with_grads();
+        let manual = (l.weight.grad.dot(&l.weight.grad) + l.bias.grad.dot(&l.bias.grad)).sqrt();
+        assert!((global_grad_norm(&mut l) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_caps_the_norm_and_preserves_direction() {
+        let mut l = layer_with_grads();
+        let before = global_grad_norm(&mut l);
+        assert!(before > 1.0, "test needs a large gradient, got {before}");
+        let g0 = l.weight.grad.clone();
+        let returned = clip_grad_norm(&mut l, 1.0);
+        assert!((returned - before).abs() < 1e-12, "returns the pre-clip norm");
+        let after = global_grad_norm(&mut l);
+        assert!((after - 1.0).abs() < 1e-9, "clipped to the cap: {after}");
+        // Direction preserved: clipped grad is a positive multiple.
+        let ratio = l.weight.grad.data()[0] / g0.data()[0];
+        assert!(l.weight.grad.allclose(&g0.scale(ratio), 1e-12));
+        assert!(ratio > 0.0 && ratio < 1.0);
+    }
+
+    #[test]
+    fn small_gradients_pass_untouched() {
+        let mut l = layer_with_grads();
+        let g0 = l.weight.grad.clone();
+        let norm = global_grad_norm(&mut l);
+        clip_grad_norm(&mut l, norm * 2.0);
+        assert!(l.weight.grad.allclose(&g0, 0.0), "no-op below the cap");
+    }
+}

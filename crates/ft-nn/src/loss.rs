@@ -1,0 +1,137 @@
+//! Training losses.
+
+use ft_tensor::Tensor;
+
+/// Relative L2 loss, the standard FNO training objective:
+/// `L = (1/B) Σ_b ‖pred_b − target_b‖₂ / ‖target_b‖₂`
+/// where `b` runs over the leading (batch) axis.
+pub struct RelativeL2;
+
+impl RelativeL2 {
+    /// Loss value.
+    pub fn value(pred: &Tensor, target: &Tensor) -> f64 {
+        Self::value_and_grad(pred, target).0
+    }
+
+    /// Loss value and its gradient with respect to `pred`.
+    pub fn value_and_grad(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        assert_eq!(pred.dims(), target.dims(), "prediction/target shape mismatch");
+        let b = pred.dims()[0].max(1);
+        let per = pred.len() / b;
+        let mut loss = 0.0;
+        let mut grad = Tensor::zeros(pred.dims());
+        let (pd, td) = (pred.data(), target.data());
+        let gd = grad.data_mut();
+        for bi in 0..b {
+            let seg = bi * per..(bi + 1) * per;
+            let mut diff2 = 0.0;
+            let mut tnorm2 = 0.0;
+            for i in seg.clone() {
+                let d = pd[i] - td[i];
+                diff2 += d * d;
+                tnorm2 += td[i] * td[i];
+            }
+            let diff = diff2.sqrt();
+            let tnorm = tnorm2.sqrt().max(1e-300);
+            loss += diff / tnorm;
+            // dL/dpred = (pred − target) / (B · ‖diff‖ · ‖target‖).
+            if diff > 0.0 {
+                let c = 1.0 / (b as f64 * diff * tnorm);
+                for i in seg {
+                    gd[i] = c * (pd[i] - td[i]);
+                }
+            }
+        }
+        (loss / b as f64, grad)
+    }
+}
+
+/// Plain mean-squared error (used by ablation benches as a baseline loss).
+pub struct Mse;
+
+impl Mse {
+    /// Loss value.
+    pub fn value(pred: &Tensor, target: &Tensor) -> f64 {
+        Self::value_and_grad(pred, target).0
+    }
+
+    /// Loss value and its gradient with respect to `pred`.
+    pub fn value_and_grad(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+        assert_eq!(pred.dims(), target.dims(), "prediction/target shape mismatch");
+        let n = pred.len() as f64;
+        let mut loss = 0.0;
+        let mut grad = Tensor::zeros(pred.dims());
+        let gd = grad.data_mut();
+        for (i, (&p, &t)) in pred.data().iter().zip(target.data()).enumerate() {
+            let d = p - t;
+            loss += d * d;
+            gd[i] = 2.0 * d / n;
+        }
+        (loss / n, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_l2_of_exact_prediction_is_zero() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] + i[1]) as f64 + 1.0);
+        let (l, g) = RelativeL2::value_and_grad(&t, &t);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn relative_l2_is_scale_invariant_in_target() {
+        // Scaling both pred and target leaves the loss unchanged.
+        let t = Tensor::from_fn(&[2, 4], |i| (i[1] as f64 - 1.5) * (i[0] as f64 + 1.0));
+        let p = t.map(|v| v + 0.1);
+        let l1 = RelativeL2::value(&p, &t);
+        let l2 = RelativeL2::value(&p.scale(10.0), &t.scale(10.0));
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_l2_per_sample_averaging() {
+        // Sample 0 exact, sample 1 off by 100% → loss = 0.5 · (0 + 1) = 0.5.
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let p = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 6.0, 8.0]);
+        let l = RelativeL2::value(&p, &t);
+        assert!((l - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_l2_gradient_matches_finite_difference() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64 * 0.5 + 1.0);
+        let p = t.map(|v| v * 1.1 - 0.2);
+        let (_, g) = RelativeL2::value_and_grad(&p, &t);
+        let eps = 1e-6;
+        for j in 0..p.len() {
+            let mut pp = p.clone();
+            pp.data_mut()[j] += eps;
+            let lp = RelativeL2::value(&pp, &t);
+            pp.data_mut()[j] -= 2.0 * eps;
+            let lm = RelativeL2::value(&pp, &t);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((g.data()[j] - num).abs() < 1e-8, "entry {j}");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let t = Tensor::from_fn(&[4], |i| i[0] as f64);
+        let p = Tensor::from_fn(&[4], |i| i[0] as f64 * 0.8 + 0.3);
+        let (_, g) = Mse::value_and_grad(&p, &t);
+        let eps = 1e-6;
+        for j in 0..4 {
+            let mut pp = p.clone();
+            pp.data_mut()[j] += eps;
+            let lp = Mse::value(&pp, &t);
+            pp.data_mut()[j] -= 2.0 * eps;
+            let lm = Mse::value(&pp, &t);
+            assert!((g.data()[j] - (lp - lm) / (2.0 * eps)).abs() < 1e-8);
+        }
+    }
+}

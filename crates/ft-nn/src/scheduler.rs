@@ -1,0 +1,69 @@
+//! Learning-rate schedulers. The paper's sweeps tune the StepLR
+//! `scheduler gamma` and `scheduler step` hyperparameters (Figs. 5–7).
+
+use crate::adam::Adam;
+
+/// StepLR: multiply the learning rate by `gamma` every `step_size` epochs.
+pub struct StepLr {
+    base_lr: f64,
+    gamma: f64,
+    step_size: u64,
+    epoch: u64,
+}
+
+impl StepLr {
+    /// Creates a scheduler; the paper's defaults are `gamma = 0.5`,
+    /// `step_size = 100`.
+    pub fn new(base_lr: f64, gamma: f64, step_size: u64) -> Self {
+        assert!(step_size > 0, "step size must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        StepLr { base_lr, gamma, step_size, epoch: 0 }
+    }
+
+    /// Learning rate for the current epoch.
+    pub fn lr(&self) -> f64 {
+        self.base_lr * self.gamma.powi((self.epoch / self.step_size) as i32)
+    }
+
+    /// Advances one epoch and pushes the new rate into the optimizer.
+    pub fn step(&mut self, opt: &mut Adam) {
+        self.epoch += 1;
+        opt.lr = self.lr();
+    }
+
+    /// Epochs elapsed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_every_step_size() {
+        let mut sched = StepLr::new(1e-3, 0.5, 100);
+        let mut opt = Adam::new(1e-3);
+        for _ in 0..99 {
+            sched.step(&mut opt);
+        }
+        assert!((opt.lr - 1e-3).abs() < 1e-15, "unchanged before the boundary");
+        sched.step(&mut opt);
+        assert!((opt.lr - 5e-4).abs() < 1e-15, "halved at epoch 100");
+        for _ in 0..100 {
+            sched.step(&mut opt);
+        }
+        assert!((opt.lr - 2.5e-4).abs() < 1e-15, "halved again at epoch 200");
+    }
+
+    #[test]
+    fn gamma_one_is_constant() {
+        let mut sched = StepLr::new(0.01, 1.0, 10);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..55 {
+            sched.step(&mut opt);
+        }
+        assert_eq!(opt.lr, 0.01);
+    }
+}

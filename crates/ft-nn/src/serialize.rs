@@ -1,0 +1,333 @@
+//! Model checkpointing: flat binary serialization of every parameter
+//! reachable through [`crate::Layer::visit_params`].
+//!
+//! Format (`FTW1`, little-endian): magic, parameter-tensor count `u32`,
+//! then per tensor: kind byte (0 real, 1 complex), rank `u32`, dims
+//! `u64 × rank`, payload `f64` (complex stored re, im interleaved).
+//! Loading is strict: kind, rank, and dims must match the model being
+//! loaded into — a checkpoint from a different architecture is rejected
+//! rather than silently misapplied.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::param::ParamMut;
+use crate::Layer;
+
+const MAGIC: &[u8; 4] = b"FTW1";
+
+/// Writes every parameter of `model` to `path`.
+pub fn save_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    save_params_to(model, &mut w)?;
+    w.flush()
+}
+
+/// Writes every parameter of `model` into an arbitrary writer (used to
+/// embed checkpoints inside larger container files).
+pub fn save_params_to(model: &mut dyn Layer, w: &mut impl Write) -> io::Result<()> {
+    // First pass: count tensors.
+    let mut count = 0u32;
+    model.visit_params(&mut |_| count += 1);
+
+    w.write_all(MAGIC)?;
+    w.write_all(&count.to_le_bytes())?;
+
+    let mut err: Option<io::Error> = None;
+    model.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        let r = write_param(w, &p);
+        if let Err(e) = r {
+            err = Some(e);
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn write_param(w: &mut impl Write, p: &ParamMut<'_>) -> io::Result<()> {
+    match p {
+        ParamMut::Real { value, .. } => {
+            w.write_all(&[0u8])?;
+            w.write_all(&(value.shape().rank() as u32).to_le_bytes())?;
+            for &d in value.dims() {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &v in value.data() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        ParamMut::Complex { value, .. } => {
+            w.write_all(&[1u8])?;
+            w.write_all(&(value.shape().rank() as u32).to_le_bytes())?;
+            for &d in value.dims() {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for z in value.data() {
+                w.write_all(&z.re.to_le_bytes())?;
+                w.write_all(&z.im.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameters saved by [`save_params`] into `model`.
+///
+/// The model must have the same architecture (same visit order, kinds, and
+/// shapes); any mismatch aborts with `InvalidData` before mutating further
+/// parameters.
+pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    load_params_from(model, &mut r)?;
+    // Reject trailing bytes: they indicate an architecture mismatch that
+    // happened to share a prefix.
+    let mut extra = [0u8; 1];
+    if r.read(&mut extra)? != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes in checkpoint"));
+    }
+    Ok(())
+}
+
+/// Reads parameters from an arbitrary reader (the counterpart of
+/// [`save_params_to`]). Does not check for trailing bytes — the caller owns
+/// the rest of the stream.
+pub fn load_params_from(model: &mut dyn Layer, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FTW1 checkpoint"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let count = u32::from_le_bytes(b4);
+
+    let mut expected = 0u32;
+    model.visit_params(&mut |_| expected += 1);
+    if count != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} parameter tensors, model has {expected}"),
+        ));
+    }
+
+    let mut err: Option<io::Error> = None;
+    model.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        if let Err(e) = read_param(r, p) {
+            err = Some(e);
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn read_param(r: &mut impl Read, p: ParamMut<'_>) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let rank = u32::from_le_bytes(b4) as usize;
+    if rank > 16 {
+        return Err(bad("implausible rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut b8 = [0u8; 8];
+    for _ in 0..rank {
+        r.read_exact(&mut b8)?;
+        dims.push(u64::from_le_bytes(b8) as usize);
+    }
+    match p {
+        ParamMut::Real { value, .. } => {
+            if kind[0] != 0 {
+                return Err(bad("kind mismatch: expected real parameter"));
+            }
+            if dims != value.dims() {
+                return Err(bad("shape mismatch for real parameter"));
+            }
+            for v in value.data_mut() {
+                r.read_exact(&mut b8)?;
+                *v = f64::from_le_bytes(b8);
+            }
+        }
+        ParamMut::Complex { value, .. } => {
+            if kind[0] != 1 {
+                return Err(bad("kind mismatch: expected complex parameter"));
+            }
+            if dims != value.dims() {
+                return Err(bad("shape mismatch for complex parameter"));
+            }
+            for z in value.data_mut() {
+                r.read_exact(&mut b8)?;
+                z.re = f64::from_le_bytes(b8);
+                r.read_exact(&mut b8)?;
+                z.im = f64::from_le_bytes(b8);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An in-memory snapshot of every parameter value (not gradients), used by
+/// early stopping to restore the best-seen weights.
+pub enum ParamValue {
+    /// Real tensor value.
+    Real(ft_tensor::Tensor),
+    /// Complex tensor value.
+    Complex(ft_tensor::CTensor),
+}
+
+/// Captures all parameter values of a model.
+pub fn snapshot_params(model: &mut dyn Layer) -> Vec<ParamValue> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| match p {
+        ParamMut::Real { value, .. } => out.push(ParamValue::Real(value.clone())),
+        ParamMut::Complex { value, .. } => out.push(ParamValue::Complex(value.clone())),
+    });
+    out
+}
+
+/// Restores a snapshot taken from the *same* model architecture. Panics on
+/// any kind or shape mismatch.
+pub fn restore_params(model: &mut dyn Layer, snapshot: &[ParamValue]) {
+    let mut i = 0usize;
+    model.visit_params(&mut |p| {
+        match (&snapshot[i], p) {
+            (ParamValue::Real(v), ParamMut::Real { value, .. }) => {
+                assert_eq!(v.dims(), value.dims(), "snapshot shape mismatch at {i}");
+                value.data_mut().copy_from_slice(v.data());
+            }
+            (ParamValue::Complex(v), ParamMut::Complex { value, .. }) => {
+                assert_eq!(v.dims(), value.dims(), "snapshot shape mismatch at {i}");
+                value.data_mut().copy_from_slice(v.data());
+            }
+            _ => panic!("snapshot parameter kind mismatch at {i}"),
+        }
+        i += 1;
+    });
+    assert_eq!(i, snapshot.len(), "snapshot length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::spectral::SpectralConv;
+    use crate::Layer;
+    use ft_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Small composite layer exercising both parameter kinds.
+    struct Both {
+        lin: Linear,
+        spec: SpectralConv,
+    }
+
+    impl Layer for Both {
+        fn forward(&mut self, x: &Tensor) -> Tensor {
+            let y = self.lin.forward(x);
+            self.spec.forward(&y)
+        }
+        fn backward(&mut self, g: &Tensor) -> Tensor {
+            let g = self.spec.backward(g);
+            self.lin.backward(&g)
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+            self.lin.visit_params(f);
+            self.spec.visit_params(f);
+        }
+        fn param_count(&self) -> usize {
+            self.lin.param_count() + self.spec.param_count()
+        }
+    }
+
+    fn make(seed: u64) -> Both {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Both {
+            lin: Linear::new(2, 3, &mut rng),
+            spec: SpectralConv::new_2d(3, 2, 2, &mut rng),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ftw_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_restores_inference_exactly() {
+        let mut a = make(1);
+        let mut b = make(2); // different init
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |i| ((i[2] * 8 + i[3]) as f64 * 0.1).sin());
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert!(!ya.allclose(&yb, 1e-9), "different params, different output");
+
+        let p = tmp("roundtrip.ftw");
+        save_params(&mut a, &p).unwrap();
+        load_params(&mut b, &p).unwrap();
+        let yb2 = b.forward(&x);
+        assert!(yb2.allclose(&ya, 0.0), "loaded params must reproduce bitwise");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = make(1);
+        let p = tmp("mismatch.ftw");
+        save_params(&mut a, &p).unwrap();
+
+        // Different spectral shape → shape mismatch.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut wrong = Both {
+            lin: Linear::new(2, 3, &mut rng),
+            spec: SpectralConv::new_2d(3, 2, 4, &mut rng),
+        };
+        let err = load_params(&mut wrong, &p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let p = tmp("garbage.ftw");
+        std::fs::write(&p, b"NOPE").unwrap();
+        let mut m = make(1);
+        assert!(load_params(&mut m, &p).is_err());
+
+        save_params(&mut m, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_params(&mut make(2), &p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut a = make(1);
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |i| ((i[2] + i[3]) as f64 * 0.2).sin());
+        let y0 = a.forward(&x);
+        let snap = snapshot_params(&mut a);
+        // Perturb the weights, then restore.
+        a.visit_params(&mut |p| {
+            if let ParamMut::Real { value, .. } = p {
+                value.scale_inplace(1.5);
+            }
+        });
+        assert!(!a.forward(&x).allclose(&y0, 1e-12));
+        restore_params(&mut a, &snap);
+        assert!(a.forward(&x).allclose(&y0, 0.0));
+    }
+}

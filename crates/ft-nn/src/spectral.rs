@@ -1,0 +1,556 @@
+//! Fourier-space convolution layers (the heart of the FNO).
+//!
+//! Forward: `x → rfftn → per-mode complex channel mix on a truncated block
+//! of low modes → irfftn`. The layer keeps **two** complex weight tensors,
+//! acting on the non-negative and negative frequency blocks of the *first*
+//! transformed axis (the `weights1`/`weights2` convention of the reference
+//! `fourier_2d.py`); this is exactly the parameter layout that reproduces
+//! the paper's Table I counts.
+//!
+//! # FFT adjoints
+//!
+//! With the real-pair gradient convention (`g = ∂L/∂Re + i·∂L/∂Im`) and the
+//! unnormalized-forward / `1/N`-inverse FFT convention, the two identities
+//! used by the backward pass are (derived in closed form from the transform
+//! sums; validated by finite differences in this module's tests):
+//!
+//! * adjoint of `irfftn`: `grad_Ŷ = (1/N_total) · s_k ⊙ rfftn(G)`, where
+//!   `s_k = 2` on bins of the halved axis with a distinct conjugate partner
+//!   and `s_k = 1` (with the imaginary part projected out) on the
+//!   self-conjugate DC/Nyquist bins;
+//! * adjoint of `rfftn`: `grad_X = N_total · Re(ifftn(zero-pad(ĝ)))`, where
+//!   the zero-pad embeds the half spectrum into the full last axis.
+
+use ft_fft::nd::{fftn, rfftn};
+use ft_fft::Direction;
+use ft_tensor::{CTensor, Complex64, Tensor};
+use rand::distributions::Uniform;
+use rand::Rng;
+use rayon::prelude::*;
+
+use crate::param::{CParam, ParamMut};
+use crate::Layer;
+
+/// Truncated spectral convolution over the trailing `ndim` axes (2 or 3).
+pub struct SpectralConv {
+    c_in: usize,
+    c_out: usize,
+    /// Number of transformed trailing axes (2 or 3).
+    ndim: usize,
+    /// Allocated mode extents per transformed axis; the last entry is in
+    /// half-spectrum units. Runtime clamps to what the grid supports while
+    /// the allocation keeps the full (Table I) size.
+    modes: Vec<usize>,
+    /// Weights for the non-negative block of the first transformed axis:
+    /// `[c_in, c_out, modes...]`.
+    pub weights1: CParam,
+    /// Weights for the negative block of the first transformed axis.
+    pub weights2: CParam,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x_hat: CTensor,
+    input_dims: Vec<usize>,
+}
+
+impl SpectralConv {
+    /// 2D spectral convolution with "modes = m" in the paper's notation:
+    /// weight blocks of shape `[c_in, c_out, m, m/2 + 1]`.
+    pub fn new_2d(c_in: usize, c_out: usize, m: usize, rng: &mut impl Rng) -> Self {
+        Self::with_modes(c_in, c_out, vec![m, m / 2 + 1], 2, rng)
+    }
+
+    /// 3D spectral convolution with "modes = m": weight blocks of shape
+    /// `[c_in, c_out, m, m, m/2 + 1]`.
+    pub fn new_3d(c_in: usize, c_out: usize, m: usize, rng: &mut impl Rng) -> Self {
+        Self::with_modes(c_in, c_out, vec![m, m, m / 2 + 1], 3, rng)
+    }
+
+    fn with_modes(
+        c_in: usize,
+        c_out: usize,
+        modes: Vec<usize>,
+        ndim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(ndim == 2 || ndim == 3, "SpectralConv supports 2 or 3 transform dims");
+        assert_eq!(modes.len(), ndim, "one mode extent per transformed axis");
+        assert!(modes.iter().all(|&m| m >= 1), "mode extents must be positive");
+        let mut wdims = vec![c_in, c_out];
+        wdims.extend_from_slice(&modes);
+        // Classic FNO initialization: scale · U(0, 1) for both components.
+        let scale = 1.0 / (c_in * c_out) as f64;
+        let dist = Uniform::new(0.0, 1.0);
+        let mut init = || {
+            let len: usize = wdims.iter().product();
+            let data: Vec<Complex64> = (0..len)
+                .map(|_| Complex64::new(scale * rng.sample(dist), scale * rng.sample(dist)))
+                .collect();
+            CParam::new(CTensor::from_vec(&wdims, data))
+        };
+        let weights1 = init();
+        let weights2 = init();
+        SpectralConv { c_in, c_out, ndim, modes, weights1, weights2, cache: None }
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Allocated mode extents (last axis in half-spectrum units).
+    pub fn modes(&self) -> &[usize] {
+        &self.modes
+    }
+
+    /// Effective (grid-clamped) mode extents for spectral dims `spec`
+    /// (`spec` = physical dims with the last axis halved).
+    fn effective_modes(&self, spec: &[usize]) -> Vec<usize> {
+        let mut eff = Vec::with_capacity(self.ndim);
+        // First axis carries two sign blocks: each at most half the axis.
+        eff.push(self.modes[0].min(spec[0] / 2));
+        // Middle axes (3D only) keep the non-negative block.
+        for a in 1..self.ndim - 1 {
+            eff.push(self.modes[a].min(spec[a] / 2));
+        }
+        // Last axis is already halved.
+        eff.push(self.modes[self.ndim - 1].min(spec[self.ndim - 1]));
+        eff
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let (y, _) = self.forward_impl(x);
+        y
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> (Tensor, CTensor) {
+        let dims = x.dims().to_vec();
+        assert_eq!(dims.len(), 2 + self.ndim, "expected [B, C, {} spatial dims]", self.ndim);
+        assert_eq!(dims[1], self.c_in, "input channels");
+        let b = dims[0];
+        let spatial = &dims[2..];
+        let last = spatial[self.ndim - 1];
+
+        let x_hat = rfftn(x, self.ndim);
+        let spec: Vec<usize> = x_hat.dims()[2..].to_vec();
+        let spec_len: usize = spec.iter().product();
+        let eff = self.effective_modes(&spec);
+
+        let mut y_dims = vec![b, self.c_out];
+        y_dims.extend_from_slice(&spec);
+        let mut y_hat = CTensor::zeros(&y_dims);
+
+        let w1 = self.weights1.value.data();
+        let w2 = self.weights2.value.data();
+        let xd = x_hat.data();
+        let (c_in, c_out) = (self.c_in, self.c_out);
+        let modes = self.modes.clone();
+        let ndim = self.ndim;
+        let spec2 = spec.clone();
+        let eff2 = eff.clone();
+
+        y_hat
+            .data_mut()
+            .par_chunks_mut(c_out * spec_len)
+            .enumerate()
+            .for_each(|(bi, yb)| {
+                let xb = &xd[bi * c_in * spec_len..(bi + 1) * c_in * spec_len];
+                for_each_kept_mode(&spec2, &eff2, &modes, ndim, |spec_idx, w_idx, neg_block| {
+                    let w = if neg_block { w2 } else { w1 };
+                    let wlen: usize = modes.iter().product();
+                    for o in 0..c_out {
+                        let mut acc = Complex64::ZERO;
+                        for i in 0..c_in {
+                            let wv = w[(i * c_out + o) * wlen + w_idx];
+                            acc = xb[i * spec_len + spec_idx].mul_add(wv, acc);
+                        }
+                        yb[o * spec_len + spec_idx] = acc;
+                    }
+                });
+            });
+
+        let y = ft_fft::nd::irfftn(&y_hat, last, self.ndim);
+        let _ = spatial;
+        (y, x_hat)
+    }
+}
+
+/// Iterates over every kept spectral mode. Calls `f(spec_idx, w_idx, neg)`
+/// with the flattened index into a per-channel spectrum plane, the
+/// flattened index into a weight block, and whether the negative-frequency
+/// block (weights2) applies.
+fn for_each_kept_mode(
+    spec: &[usize],
+    eff: &[usize],
+    modes: &[usize],
+    ndim: usize,
+    mut f: impl FnMut(usize, usize, bool),
+) {
+    match ndim {
+        2 => {
+            let (d1, d2) = (spec[0], spec[1]);
+            let (m1, m2) = (modes[0], modes[1]);
+            let (e1, e2) = (eff[0], eff[1]);
+            for k1 in 0..e1 {
+                for k2 in 0..e2 {
+                    f(k1 * d2 + k2, k1 * m2 + k2, false);
+                    f((d1 - e1 + k1) * d2 + k2, (m1 - e1 + k1) * m2 + k2, true);
+                }
+            }
+        }
+        3 => {
+            let (d1, d2, d3) = (spec[0], spec[1], spec[2]);
+            let (m1, m2, m3) = (modes[0], modes[1], modes[2]);
+            let (e1, e2, e3) = (eff[0], eff[1], eff[2]);
+            let _ = d1;
+            for k1 in 0..e1 {
+                for k2 in 0..e2 {
+                    for k3 in 0..e3 {
+                        f(
+                            (k1 * d2 + k2) * d3 + k3,
+                            (k1 * m2 + k2) * m3 + k3,
+                            false,
+                        );
+                        f(
+                            ((spec[0] - e1 + k1) * d2 + k2) * d3 + k3,
+                            ((m1 - e1 + k1) * m2 + k2) * m3 + k3,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Adjoint of `irfftn` under the real-pair gradient convention:
+/// `grad_Ŷ = (1/N) · s ⊙ rfftn(G)` with the self-conjugate bins of the
+/// halved axis projected to their real parts.
+pub fn irfftn_adjoint(g: &Tensor, ndim: usize) -> CTensor {
+    let dims = g.dims();
+    let rank = dims.len();
+    let last = dims[rank - 1];
+    let n_total: usize = dims[rank - ndim..].iter().product();
+
+    // Step 1: adjoint of the per-row irfft — forward rfft of the rows with
+    // the doubling factor on bins that have a distinct conjugate partner
+    // and a real projection on the self-conjugate DC/Nyquist bins. The
+    // projection is not complex-linear, so it must happen *before* the
+    // full-axis transforms below.
+    let mut out = rfftn(g, 1);
+    let half = out.dims()[rank - 1];
+    let inv = 1.0 / n_total as f64;
+    for (idx, z) in out.data_mut().iter_mut().enumerate() {
+        let kl = idx % half;
+        let self_conj = kl == 0 || (last % 2 == 0 && kl == last / 2);
+        if self_conj {
+            *z = Complex64::from_re(z.re * inv);
+        } else {
+            *z *= 2.0 * inv;
+        }
+    }
+
+    // Step 2: adjoint of each inverse full-axis transform is the forward
+    // transform divided by the axis length — the 1/axis factors are already
+    // folded into `inv` above.
+    for a in (rank - ndim)..(rank - 1) {
+        ft_fft::nd::fft_axis(&mut out, a, Direction::Forward);
+    }
+    out
+}
+
+/// Adjoint of `rfftn` under the real-pair gradient convention:
+/// `grad_X = N · Re(ifftn(zero-pad(ĝ)))`.
+pub fn rfftn_adjoint(g_hat: &CTensor, last_dim: usize, ndim: usize) -> Tensor {
+    let dims = g_hat.dims().to_vec();
+    let rank = dims.len();
+    let half = dims[rank - 1];
+    assert_eq!(half, last_dim / 2 + 1, "half-spectrum extent mismatch");
+
+    // Zero-pad the last axis to the full length.
+    let mut full_dims = dims.clone();
+    full_dims[rank - 1] = last_dim;
+    let mut full = CTensor::zeros(&full_dims);
+    {
+        let src = g_hat.data();
+        let dst = full.data_mut();
+        let rows = src.len() / half;
+        for r in 0..rows {
+            dst[r * last_dim..r * last_dim + half].copy_from_slice(&src[r * half..(r + 1) * half]);
+        }
+    }
+    let n_total: usize = full_dims[rank - ndim..].iter().product();
+    let inv = fftn(&full, ndim, Direction::Inverse);
+    inv.re().scale(n_total as f64)
+}
+
+impl Layer for SpectralConv {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let input_dims = x.dims().to_vec();
+        let (y, x_hat) = self.forward_impl(x);
+        self.cache = Some(Cache { x_hat, input_dims });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let Cache { x_hat, input_dims } =
+            self.cache.take().expect("backward called without a cached forward");
+        let b = input_dims[0];
+        let last = input_dims[input_dims.len() - 1];
+
+        // Gradient into Ŷ.
+        let gy_hat = irfftn_adjoint(grad_out, self.ndim);
+        let spec: Vec<usize> = gy_hat.dims()[2..].to_vec();
+        let spec_len: usize = spec.iter().product();
+        let eff = self.effective_modes(&spec);
+        let wlen: usize = self.modes.iter().product();
+
+        // Gradient into X̂ and into the weights. Parallel over batches with
+        // a per-batch weight-gradient accumulator, reduced at the end.
+        let w1 = self.weights1.value.data();
+        let w2 = self.weights2.value.data();
+        let xd = x_hat.data();
+        let gyd = gy_hat.data();
+        let (c_in, c_out) = (self.c_in, self.c_out);
+        let modes = self.modes.clone();
+        let ndim = self.ndim;
+
+        let mut gx_hat = CTensor::zeros(x_hat.dims());
+        let per_w = c_in * c_out * wlen;
+
+        let (wgrads1, wgrads2): (Vec<Complex64>, Vec<Complex64>) = {
+            let gx_chunks: Vec<&mut [Complex64]> =
+                gx_hat.data_mut().chunks_mut(c_in * spec_len).collect();
+            gx_chunks
+                .into_par_iter()
+                .enumerate()
+                .map(|(bi, gxb)| {
+                    let xb = &xd[bi * c_in * spec_len..(bi + 1) * c_in * spec_len];
+                    let gyb = &gyd[bi * c_out * spec_len..(bi + 1) * c_out * spec_len];
+                    let mut gw1 = vec![Complex64::ZERO; per_w];
+                    let mut gw2 = vec![Complex64::ZERO; per_w];
+                    for_each_kept_mode(&spec, &eff, &modes, ndim, |spec_idx, w_idx, neg| {
+                        let (w, gw) = if neg { (w2, &mut gw2) } else { (w1, &mut gw1) };
+                        for o in 0..c_out {
+                            let gyv = gyb[o * spec_len + spec_idx];
+                            for i in 0..c_in {
+                                let flat = (i * c_out + o) * wlen + w_idx;
+                                // grad_W = conj(X̂)·grad_Ŷ; grad_X̂ += conj(W)·grad_Ŷ.
+                                gw[flat] += xb[i * spec_len + spec_idx].conj() * gyv;
+                                gxb[i * spec_len + spec_idx] += w[flat].conj() * gyv;
+                            }
+                        }
+                    });
+                    (gw1, gw2)
+                })
+                .reduce(
+                    || (vec![Complex64::ZERO; per_w], vec![Complex64::ZERO; per_w]),
+                    |(mut a1, mut a2), (b1, b2)| {
+                        for (x, y) in a1.iter_mut().zip(&b1) {
+                            *x += *y;
+                        }
+                        for (x, y) in a2.iter_mut().zip(&b2) {
+                            *x += *y;
+                        }
+                        (a1, a2)
+                    },
+                )
+        };
+        let _ = b;
+        for (g, v) in self.weights1.grad.data_mut().iter_mut().zip(&wgrads1) {
+            *g += *v;
+        }
+        for (g, v) in self.weights2.grad.data_mut().iter_mut().zip(&wgrads2) {
+            *g += *v;
+        }
+
+        rfftn_adjoint(&gx_hat, last, self.ndim)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut::Complex { value: &mut self.weights1.value, grad: &mut self.weights1.grad });
+        f(ParamMut::Complex { value: &mut self.weights2.value, grad: &mut self.weights2.grad });
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.c_in * self.c_out * self.modes.iter().product::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_input_gradient, check_param_gradients};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_input(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::random(dims, &Uniform::new(-1.0, 1.0), &mut rng)
+    }
+
+    #[test]
+    fn irfftn_adjoint_identity_dot_test() {
+        // ⟨G, irfftn(Z)⟩_R must equal ⟨adj(G), Z⟩_R for arbitrary G, Z.
+        let (h, w) = (6usize, 8usize);
+        let wh = w / 2 + 1;
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Tensor::random(&[1, 1, h, w], &Uniform::new(-1.0, 1.0), &mut rng);
+        let z = CTensor::from_fn(&[1, 1, h, wh], |_| {
+            Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+        });
+        let y = ft_fft::nd::irfftn(&z, w, 2);
+        let lhs = g.dot(&y);
+        let adj = irfftn_adjoint(&g, 2);
+        // Real inner product ⟨a, z⟩_R = Σ Re(a)Re(z) + Im(a)Im(z).
+        let rhs: f64 = adj
+            .data()
+            .iter()
+            .zip(z.data())
+            .map(|(a, b)| a.re * b.re + a.im * b.im)
+            .sum();
+        // The self-conjugate bins' imaginary parts are ignored by irfftn, so
+        // the identity holds exactly because adj projects them to zero.
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rfftn_adjoint_identity_dot_test() {
+        let (h, w) = (4usize, 6usize);
+        let wh = w / 2 + 1;
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::random(&[1, 1, h, w], &Uniform::new(-1.0, 1.0), &mut rng);
+        let ghat = CTensor::from_fn(&[1, 1, h, wh], |_| {
+            Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+        });
+        let xhat = rfftn(&x, 2);
+        let lhs: f64 = ghat
+            .data()
+            .iter()
+            .zip(xhat.data())
+            .map(|(a, b)| a.re * b.re + a.im * b.im)
+            .sum();
+        let gx = rfftn_adjoint(&ghat, w, 2);
+        let rhs = gx.dot(&x);
+        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn forward_output_is_real_and_shaped() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = SpectralConv::new_2d(2, 3, 4, &mut rng);
+        let x = rand_input(&[2, 2, 8, 8], 1);
+        let y = conv.forward(&x);
+        assert_eq!(y.dims(), &[2, 3, 8, 8]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn acts_as_convolution_translation_equivariance() {
+        // A spectral multiply is a circular convolution: translating the
+        // input must translate the output identically.
+        let mut rng = StdRng::seed_from_u64(7);
+        let conv = SpectralConv::new_2d(1, 1, 3, &mut rng);
+        let n = 8;
+        let x = rand_input(&[1, 1, n, n], 2);
+        let y = conv.infer(&x);
+        // Shift by (2, 3).
+        let xs = Tensor::from_fn(&[1, 1, n, n], |i| {
+            x.at(&[0, 0, (i[2] + n - 2) % n, (i[3] + n - 3) % n])
+        });
+        let ys = conv.infer(&xs);
+        let expect = Tensor::from_fn(&[1, 1, n, n], |i| {
+            y.at(&[0, 0, (i[2] + n - 2) % n, (i[3] + n - 3) % n])
+        });
+        assert!(ys.allclose(&expect, 1e-9), "not translation equivariant");
+    }
+
+    #[test]
+    fn resolution_invariance_of_low_modes() {
+        // Evaluating the same operator on a finer grid of the same
+        // band-limited function must give the same function values
+        // (discretization-agnostic property of the FNO).
+        let mut rng = StdRng::seed_from_u64(8);
+        let conv = SpectralConv::new_2d(1, 1, 2, &mut rng);
+        use std::f64::consts::PI;
+        let f = |x: f64, y: f64| (2.0 * PI * x).sin() + (2.0 * PI * y).cos();
+        let sample = |n: usize| {
+            Tensor::from_fn(&[1, 1, n, n], |i| {
+                f(i[3] as f64 / n as f64, i[2] as f64 / n as f64)
+            })
+        };
+        let y8 = conv.infer(&sample(8));
+        let y16 = conv.infer(&sample(16));
+        // Compare on the coarse points (every 2nd fine point), accounting
+        // for the FFT normalization: unnormalized forward + 1/n inverse
+        // makes the spectral multiply resolution-independent for
+        // band-limited inputs.
+        for yy in 0..8 {
+            for xx in 0..8 {
+                let a = y8.at(&[0, 0, yy, xx]);
+                let b = y16.at(&[0, 0, 2 * yy, 2 * xx]);
+                assert!((a - b).abs() < 1e-9, "({yy},{xx}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_2d_params_and_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = SpectralConv::new_2d(2, 2, 3, &mut rng);
+        let x = rand_input(&[2, 2, 6, 6], 4);
+        check_param_gradients(&mut conv, &x, 1e-5, 3e-6);
+        check_input_gradient(&mut conv, &x, 1e-5, 3e-6);
+    }
+
+    #[test]
+    fn gradcheck_3d_params_and_input() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = SpectralConv::new_3d(2, 2, 2, &mut rng);
+        let x = rand_input(&[1, 2, 4, 4, 4], 6);
+        check_param_gradients(&mut conv, &x, 1e-5, 3e-6);
+        check_input_gradient(&mut conv, &x, 1e-5, 3e-6);
+    }
+
+    #[test]
+    fn gradcheck_odd_last_axis() {
+        // Odd last dimension exercises the no-Nyquist branch of the adjoint.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = SpectralConv::new_2d(1, 2, 2, &mut rng);
+        let x = rand_input(&[1, 1, 4, 5], 10);
+        check_param_gradients(&mut conv, &x, 1e-5, 3e-6);
+        check_input_gradient(&mut conv, &x, 1e-5, 3e-6);
+    }
+
+    #[test]
+    fn param_count_matches_table_one_convention() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 2D, width 40, modes 32: 2 · 40 · 40 · 32 · 17 per layer.
+        let conv = SpectralConv::new_2d(40, 40, 32, &mut rng);
+        assert_eq!(conv.param_count(), 2 * 40 * 40 * 32 * 17);
+        // 3D, width 8, modes 32: 2 · 8 · 8 · 32 · 32 · 17.
+        let conv3 = SpectralConv::new_3d(8, 8, 32, &mut rng);
+        assert_eq!(conv3.param_count(), 2 * 8 * 8 * 32 * 32 * 17);
+    }
+
+    #[test]
+    fn modes_clamp_to_small_grids() {
+        // Asking for more modes than the grid supports must not panic and
+        // must still produce finite output (the paper's 3D FNO allocates 17
+        // temporal modes but runs on 10 snapshots).
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = SpectralConv::new_3d(1, 1, 8, &mut rng);
+        let x = rand_input(&[1, 1, 8, 8, 5], 3);
+        let y = conv.infer(&x);
+        assert_eq!(y.dims(), &[1, 1, 8, 8, 5]);
+        assert!(y.all_finite());
+    }
+}

@@ -1,0 +1,114 @@
+//! Forcing for the Navier-Stokes solvers: the paper's decaying-turbulence
+//! setting "can be extended to forced turbulence" (Sec. I); this module
+//! provides that extension for the spectral solver.
+//!
+//! Forcing enters the vorticity equation as
+//! `∂ω/∂t + u·∇ω = ν∇²ω − μω + f_ω`,
+//! with a stationary vorticity source `f_ω(x, y)` and an optional linear
+//! drag `μ` (the standard large-scale energy sink of forced 2D turbulence,
+//! which absorbs the inverse cascade).
+
+use ft_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A stationary vorticity forcing plus linear drag.
+#[derive(Clone, Debug)]
+pub struct Forcing {
+    /// Vorticity source field `f_ω` (grid shape `[n, n]`).
+    pub f_omega: Tensor,
+    /// Linear drag coefficient `μ ≥ 0`.
+    pub drag: f64,
+}
+
+impl Forcing {
+    /// Kolmogorov forcing `f_ω = −A·k·cos(k y)` — the vorticity curl of the
+    /// classical body force `A sin(k y) x̂` on a `[0, l)²` box sampled on an
+    /// `n × n` grid.
+    pub fn kolmogorov(n: usize, l: f64, k: usize, amplitude: f64, drag: f64) -> Self {
+        let kf = 2.0 * PI * k as f64 / l;
+        let f_omega = Tensor::from_fn(&[n, n], |i| {
+            let y = l * i[0] as f64 / n as f64;
+            -amplitude * kf * (kf * y).cos()
+        });
+        Forcing { f_omega, drag }
+    }
+
+    /// Random band-limited forcing: unit-amplitude random phases on the
+    /// annulus `k ∈ [k_min, k_max]`, scaled so `‖f_ω‖₂/n = amplitude`.
+    pub fn random_band(
+        n: usize,
+        l: f64,
+        k_min: usize,
+        k_max: usize,
+        amplitude: f64,
+        drag: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(k_min >= 1 && k_max >= k_min, "invalid forcing band");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut modes = Vec::new();
+        for ky in 0..=(k_max as i64) {
+            for kx in -(k_max as i64)..=(k_max as i64) {
+                if ky == 0 && kx <= 0 {
+                    continue;
+                }
+                let km = ((kx * kx + ky * ky) as f64).sqrt();
+                if km >= k_min as f64 && km <= k_max as f64 {
+                    modes.push((kx as f64, ky as f64, rng.gen::<f64>() * 2.0 * PI));
+                }
+            }
+        }
+        let two_pi_over_l = 2.0 * PI / l;
+        let dx = l / n as f64;
+        let mut f = Tensor::from_fn(&[n, n], |i| {
+            let (y, x) = (i[0] as f64 * dx, i[1] as f64 * dx);
+            modes
+                .iter()
+                .map(|&(kx, ky, p)| (two_pi_over_l * (kx * x + ky * y) + p).cos())
+                .sum::<f64>()
+        });
+        let norm = f.norm_l2() / n as f64;
+        f.scale_inplace(amplitude / norm.max(1e-300));
+        Forcing { f_omega: f, drag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kolmogorov_profile() {
+        let f = Forcing::kolmogorov(16, 2.0 * PI, 2, 0.5, 0.0);
+        // f_ω(y=0) = −A·k = −1.0; zero mean over the box.
+        assert!((f.f_omega.at(&[0, 0]) + 1.0).abs() < 1e-12);
+        assert!(f.f_omega.mean().abs() < 1e-12);
+        // Constant along x.
+        for x in 0..16 {
+            assert_eq!(f.f_omega.at(&[3, x]), f.f_omega.at(&[3, 0]));
+        }
+    }
+
+    #[test]
+    fn random_band_amplitude_and_mean() {
+        let f = Forcing::random_band(32, 32.0, 2, 4, 0.25, 0.1, 7);
+        assert!((f.f_omega.norm_l2() / 32.0 - 0.25).abs() < 1e-12);
+        assert!(f.f_omega.mean().abs() < 1e-10);
+        assert_eq!(f.drag, 0.1);
+    }
+
+    #[test]
+    fn random_band_deterministic_in_seed() {
+        let a = Forcing::random_band(16, 16.0, 1, 3, 1.0, 0.0, 5);
+        let b = Forcing::random_band(16, 16.0, 1, 3, 1.0, 0.0, 5);
+        assert!(a.f_omega.allclose(&b.f_omega, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid forcing band")]
+    fn rejects_bad_band() {
+        Forcing::random_band(16, 16.0, 4, 2, 1.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Incompressible 2D Navier-Stokes solvers on the periodic box.
+//!
+//! The paper's hybrid scheme alternates the FNO with a classical PDE solver
+//! (the closed-source PR-DNS finite-difference code). This crate provides
+//! two interchangeable substitutes that integrate the same
+//! vorticity-streamfunction formulation
+//!
+//! `∂ω/∂t + u·∇ω = ν ∇²ω`,  `∇²ψ = −ω`,  `u = (∂ψ/∂y, −∂ψ/∂x)`:
+//!
+//! * [`SpectralNs`] — a pseudo-spectral solver (2/3-rule dealiasing,
+//!   RK4 with an exact integrating factor for the viscous term), the
+//!   reference integrator for this workspace;
+//! * [`ArakawaNs`] — a finite-difference solver with the Arakawa (1966)
+//!   energy- and enstrophy-conserving Jacobian, a 5-point Laplacian, an
+//!   FFT Poisson solve, and SSP-RK3 time stepping, mirroring the
+//!   "finite difference based Navier-Stokes solver" the paper couples the
+//!   FNO with.
+//!
+//! Both expose the same velocity/vorticity state accessors, so the hybrid
+//! orchestrator in `fno-core` is generic over the choice via [`PdeSolver`].
+
+#![warn(missing_docs)]
+// Indexed loops mirror the discrete math in numeric kernels; clippy's
+// iterator rewrites obscure the stencil/butterfly structure.
+#![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
+
+pub mod arakawa;
+pub mod forcing;
+pub mod grid;
+pub mod spectral;
+
+pub use arakawa::ArakawaNs;
+pub use forcing::Forcing;
+pub use grid::SpectralGrid;
+pub use spectral::SpectralNs;
+
+use ft_tensor::Tensor;
+
+/// Common interface of the PDE solvers, as consumed by the hybrid
+/// FNO-PDE orchestrator.
+pub trait PdeSolver {
+    /// Resets the solver state from a velocity field (`[n, n]` each).
+    fn set_velocity(&mut self, ux: &Tensor, uy: &Tensor);
+    /// Current velocity field `(ux, uy)`.
+    fn velocity(&self) -> (Tensor, Tensor);
+    /// Current vorticity field.
+    fn vorticity(&self) -> Tensor;
+    /// Advances the solution by `steps` time steps of size `dt`.
+    fn advance(&mut self, dt: f64, steps: usize);
+    /// Grid points per side.
+    fn resolution(&self) -> usize;
+}

@@ -1,0 +1,400 @@
+//! Pseudo-spectral vorticity–streamfunction solver with integrating-factor
+//! RK4 time stepping and 2/3-rule dealiasing.
+
+use ft_tensor::{CTensor, Tensor};
+
+use crate::forcing::Forcing;
+use crate::grid::SpectralGrid;
+use crate::PdeSolver;
+
+/// Pseudo-spectral incompressible 2D Navier-Stokes solver.
+///
+/// State is the full complex vorticity spectrum `ω̂`. The viscous term is
+/// integrated exactly through the factor `e^{−νk²t}`; the advective term is
+/// advanced with classical RK4 evaluated pseudo-spectrally (products in
+/// physical space, derivatives in spectral space, 2/3 dealiasing on the
+/// nonlinear term).
+pub struct SpectralNs {
+    grid: SpectralGrid,
+    nu: f64,
+    omega_hat: CTensor,
+    time: f64,
+    /// Optional stationary vorticity forcing (spectral) and linear drag.
+    forcing_hat: Option<CTensor>,
+    drag: f64,
+    /// 2/3-rule dealiasing toggle (on by default; off only for ablation).
+    dealias: bool,
+}
+
+impl SpectralNs {
+    /// Creates a solver at rest on an `n × n` grid with box side `l` and
+    /// kinematic viscosity `nu`.
+    pub fn new(n: usize, l: f64, nu: f64) -> Self {
+        assert!(nu >= 0.0, "viscosity must be non-negative");
+        SpectralNs {
+            grid: SpectralGrid::new(n, l),
+            nu,
+            omega_hat: CTensor::zeros(&[n, n]),
+            time: 0.0,
+            forcing_hat: None,
+            drag: 0.0,
+            dealias: true,
+        }
+    }
+
+    /// Enables or disables the 2/3-rule dealiasing of the nonlinear term.
+    /// Disabling it exposes the aliasing instability the rule exists to
+    /// prevent; it is provided for the ablation benchmarks only.
+    pub fn set_dealias(&mut self, on: bool) {
+        self.dealias = on;
+    }
+
+    /// Installs a stationary forcing and linear drag (forced-turbulence
+    /// extension); `None`-like removal via [`SpectralNs::clear_forcing`].
+    pub fn set_forcing(&mut self, forcing: &Forcing) {
+        assert!(forcing.drag >= 0.0, "drag must be non-negative");
+        assert_eq!(
+            forcing.f_omega.dims(),
+            &[self.grid.n(), self.grid.n()],
+            "forcing field shape"
+        );
+        self.forcing_hat = Some(self.grid.to_spectral(&forcing.f_omega));
+        self.drag = forcing.drag;
+    }
+
+    /// Removes any installed forcing and drag.
+    pub fn clear_forcing(&mut self) {
+        self.forcing_hat = None;
+        self.drag = 0.0;
+    }
+
+    /// The spectral grid (wavenumber tables).
+    pub fn grid(&self) -> &SpectralGrid {
+        &self.grid
+    }
+
+    /// Kinematic viscosity.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Elapsed simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Sets the state from a physical vorticity field.
+    pub fn set_vorticity(&mut self, omega: &Tensor) {
+        self.omega_hat = self.grid.to_spectral(omega);
+        self.time = 0.0;
+    }
+
+    /// Read access to the vorticity spectrum.
+    pub fn omega_hat(&self) -> &CTensor {
+        &self.omega_hat
+    }
+
+    /// Largest stable advective time step `C·dx/|u|_max` (C = 0.5).
+    pub fn cfl_dt(&self) -> f64 {
+        let (ux, uy) = self.velocity();
+        let umax = ux
+            .data()
+            .iter()
+            .zip(uy.data())
+            .map(|(&a, &b)| a.hypot(b))
+            .fold(0.0f64, f64::max);
+        0.5 * self.grid.dx() / umax.max(1e-12)
+    }
+
+    /// Right-hand side `N̂(ω̂) = −(u·∇ω)̂`, dealiased.
+    fn nonlinear(&self, omega_hat: &CTensor) -> CTensor {
+        let g = &self.grid;
+        let (u_hat, v_hat) = g.velocity_spectra(omega_hat);
+        let u = g.to_physical(&u_hat);
+        let v = g.to_physical(&v_hat);
+        let wx = g.to_physical(&g.ddx_spec(omega_hat));
+        let wy = g.to_physical(&g.ddy_spec(omega_hat));
+        let advection = u.mul(&wx).add(&v.mul(&wy)).scale(-1.0);
+        let mut n_hat = g.to_spectral(&advection);
+        if self.dealias {
+            g.dealias(&mut n_hat);
+        }
+        if let Some(f) = &self.forcing_hat {
+            n_hat.add_assign(f);
+        }
+        n_hat
+    }
+
+    /// One RK4 step of size `dt` with the exact viscous integrating factor.
+    ///
+    /// Writing `ĝ(t) = e^{νk²t} ω̂(t)`, the ODE becomes `dĝ/dt = e^{νk²t} N̂`.
+    /// The four stages only ever need the factors `E½ = e^{−νk²dt/2}` and
+    /// `E = e^{−νk²dt}`.
+    pub fn step(&mut self, dt: f64) {
+        let n = self.grid.n();
+        let k2 = self.grid.k2().to_vec();
+        // Linear operator: viscous dissipation plus (optional) linear drag,
+        // both integrated exactly through the factor.
+        let e_half: Vec<f64> =
+            k2.iter().map(|&k| (-(self.nu * k + self.drag) * dt * 0.5).exp()).collect();
+        let e_full: Vec<f64> = e_half.iter().map(|&e| e * e).collect();
+
+        let w = &self.omega_hat;
+        let apply = |src: &CTensor, fac: &[f64]| -> CTensor {
+            let mut out = src.clone();
+            for (z, &f) in out.data_mut().iter_mut().zip(fac) {
+                *z *= f;
+            }
+            out
+        };
+        let axpy = |a: &CTensor, b: &CTensor, s: f64| -> CTensor {
+            let mut out = a.clone();
+            for (z, &bz) in out.data_mut().iter_mut().zip(b.data()) {
+                *z += bz * s;
+            }
+            out
+        };
+
+        // k1 at t_n.
+        let k1 = self.nonlinear(w);
+        // k2 at t_n + dt/2, argument E½·(w + dt/2·k1).
+        let k2_stage = self.nonlinear(&apply(&axpy(w, &k1, dt * 0.5), &e_half));
+        // k3 at t_n + dt/2, argument E½·w + dt/2·k2.
+        let k3 = self.nonlinear(&axpy(&apply(w, &e_half), &k2_stage, dt * 0.5));
+        // k4 at t_n + dt, argument E·w + dt·E½·k3.
+        let k4 = self.nonlinear(&axpy(&apply(w, &e_full), &apply(&k3, &e_half), dt));
+
+        // ω̂(t+dt) = E·w + dt/6·(E·k1 + 2E½·k2 + 2E½·k3 + k4).
+        let mut out = CTensor::zeros(&[n, n]);
+        {
+            let o = out.data_mut();
+            let (wd, k1d, k2d, k3d, k4d) =
+                (w.data(), k1.data(), k2_stage.data(), k3.data(), k4.data());
+            for idx in 0..n * n {
+                let e = e_full[idx];
+                let eh = e_half[idx];
+                o[idx] = wd[idx] * e
+                    + (k1d[idx] * e + (k2d[idx] + k3d[idx]) * (2.0 * eh) + k4d[idx])
+                        * (dt / 6.0);
+            }
+        }
+        self.omega_hat = out;
+        self.time += dt;
+    }
+}
+
+impl PdeSolver for SpectralNs {
+    fn set_velocity(&mut self, ux: &Tensor, uy: &Tensor) {
+        self.omega_hat = self.grid.vorticity_spectrum(ux, uy);
+        self.time = 0.0;
+    }
+
+    fn velocity(&self) -> (Tensor, Tensor) {
+        let (u_hat, v_hat) = self.grid.velocity_spectra(&self.omega_hat);
+        (self.grid.to_physical(&u_hat), self.grid.to_physical(&v_hat))
+    }
+
+    fn vorticity(&self) -> Tensor {
+        self.grid.to_physical(&self.omega_hat)
+    }
+
+    fn advance(&mut self, dt: f64, steps: usize) {
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    fn resolution(&self) -> usize {
+        self.grid.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn taylor_green_vorticity(n: usize, amp: f64) -> Tensor {
+        // u = −A cos x sin y, v = A sin x cos y  ⇒  ω = 2A cos x cos y.
+        Tensor::from_fn(&[n, n], |i| {
+            let x = 2.0 * PI * i[1] as f64 / n as f64;
+            let y = 2.0 * PI * i[0] as f64 / n as f64;
+            2.0 * amp * x.cos() * y.cos()
+        })
+    }
+
+    #[test]
+    fn taylor_green_decays_exactly() {
+        // TG is an exact NS solution: ω(t) = ω(0)·e^{−2νt} (k² = 2, L = 2π).
+        let n = 32;
+        let nu = 0.05;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, nu);
+        let w0 = taylor_green_vorticity(n, 0.3);
+        ns.set_vorticity(&w0);
+        let dt = 0.01;
+        let steps = 100;
+        ns.advance(dt, steps);
+        let t = dt * steps as f64;
+        let expect = w0.scale((-2.0 * nu * t).exp());
+        let err = ns.vorticity().sub(&expect).norm_l2() / expect.norm_l2();
+        assert!(err < 1e-8, "relative error {err}");
+    }
+
+    #[test]
+    fn inviscid_energy_and_enstrophy_conservation() {
+        // With ν = 0 the truncated system conserves energy and enstrophy up
+        // to the RK4 truncation error.
+        let n = 32;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, 0.0);
+        let w0 = Tensor::from_fn(&[n, n], |i| {
+            let x = 2.0 * PI * i[1] as f64 / n as f64;
+            let y = 2.0 * PI * i[0] as f64 / n as f64;
+            (2.0 * x).sin() * y.cos() + 0.4 * (x + 3.0 * y).cos()
+        });
+        ns.set_vorticity(&w0);
+        let enstrophy = |s: &SpectralNs| s.vorticity().dot(&s.vorticity());
+        let energy = |s: &SpectralNs| {
+            let (u, v) = s.velocity();
+            u.dot(&u) + v.dot(&v)
+        };
+        let (z0, e0) = (enstrophy(&ns), energy(&ns));
+        ns.advance(0.005, 200);
+        let (z1, e1) = (enstrophy(&ns), energy(&ns));
+        assert!((z1 - z0).abs() / z0 < 1e-6, "enstrophy drift {}", (z1 - z0).abs() / z0);
+        assert!((e1 - e0).abs() / e0 < 1e-6, "energy drift {}", (e1 - e0).abs() / e0);
+    }
+
+    #[test]
+    fn velocity_roundtrip_through_pde_interface() {
+        let n = 24;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, 0.01);
+        // Zero-mean solenoidal field from a streamfunction.
+        let psi = Tensor::from_fn(&[n, n], |i| {
+            let x = 2.0 * PI * i[1] as f64 / n as f64;
+            let y = 2.0 * PI * i[0] as f64 / n as f64;
+            (2.0 * x).cos() * (3.0 * y).sin()
+        });
+        let g = SpectralGrid::new(n, 2.0 * PI);
+        let spec = g.to_spectral(&psi);
+        let ux = g.to_physical(&g.ddy_spec(&spec));
+        let uy = g.to_physical(&g.ddx_spec(&spec)).scale(-1.0);
+        ns.set_velocity(&ux, &uy);
+        let (rux, ruy) = ns.velocity();
+        assert!(rux.allclose(&ux, 1e-8), "ux roundtrip");
+        assert!(ruy.allclose(&uy, 1e-8), "uy roundtrip");
+    }
+
+    #[test]
+    fn rk4_convergence_order() {
+        // Halving dt must reduce the error by ~2⁴ against a fine reference.
+        let n = 16;
+        let nu = 0.02;
+        let w0 = Tensor::from_fn(&[n, n], |i| {
+            let x = 2.0 * PI * i[1] as f64 / n as f64;
+            let y = 2.0 * PI * i[0] as f64 / n as f64;
+            (x).sin() * (2.0 * y).cos() + 0.3 * (3.0 * x + y).sin()
+        });
+        // Strong nonlinearity so the truncation error sits far above
+        // machine precision at the test step sizes.
+        let w0 = w0.scale(6.0);
+        let t_end = 0.8;
+        let run = |dt: f64| {
+            let mut ns = SpectralNs::new(n, 2.0 * PI, nu);
+            ns.set_vorticity(&w0);
+            let steps = (t_end / dt).round() as usize;
+            ns.advance(dt, steps);
+            ns.vorticity()
+        };
+        let reference = run(0.0025);
+        let e1 = run(0.08).sub(&reference).norm_l2();
+        let e2 = run(0.04).sub(&reference).norm_l2();
+        let order = (e1 / e2).log2();
+        assert!(order > 3.4, "observed order {order} (e1={e1}, e2={e2})");
+    }
+
+    #[test]
+    fn kolmogorov_forcing_reaches_exact_laminar_fixed_point() {
+        // For f_ω = −A·k·cos(k y) the laminar Kolmogorov flow is an exact
+        // steady solution (J(ψ, ω) = 0 for a single mode):
+        // ω* = f_ω / (ν k² + μ).
+        use crate::forcing::Forcing;
+        let n = 32;
+        let nu = 0.05;
+        let drag = 0.02;
+        let k = 2usize;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, nu);
+        let f = Forcing::kolmogorov(n, 2.0 * PI, k, 0.1, drag);
+        ns.set_forcing(&f);
+        // Start from rest and integrate toward the fixed point.
+        ns.set_vorticity(&Tensor::zeros(&[n, n]));
+        ns.advance(0.05, 2000);
+        let kf = k as f64;
+        let expect = f.f_omega.scale(1.0 / (nu * kf * kf + drag));
+        let err = ns.vorticity().sub(&expect).norm_l2() / expect.norm_l2();
+        assert!(err < 1e-6, "fixed-point error {err}");
+    }
+
+    #[test]
+    fn forcing_sustains_energy_where_decay_kills_it() {
+        use crate::forcing::Forcing;
+        let n = 32;
+        let nu = 0.02;
+        let w0 = taylor_green_vorticity(n, 0.3);
+        let energy = |s: &SpectralNs| {
+            let (u, v) = s.velocity();
+            u.dot(&u) + v.dot(&v)
+        };
+
+        let mut decay = SpectralNs::new(n, 2.0 * PI, nu);
+        decay.set_vorticity(&w0);
+        let e0 = energy(&decay);
+        decay.advance(0.02, 1500);
+        let e_decay = energy(&decay);
+        assert!(e_decay < 0.5 * e0, "unforced flow must lose energy");
+
+        let mut forced = SpectralNs::new(n, 2.0 * PI, nu);
+        forced.set_forcing(&Forcing::random_band(n, 2.0 * PI, 2, 4, 0.5, 0.05, 3));
+        forced.set_vorticity(&w0);
+        forced.advance(0.02, 1500);
+        let e_forced = energy(&forced);
+        assert!(
+            e_forced > e_decay * 2.0,
+            "forcing must sustain the flow: {e_forced} vs decayed {e_decay}"
+        );
+        assert!(e_forced.is_finite());
+
+        // Statistically steady: energy over the second half stays bounded
+        // within a band rather than trending to zero.
+        let mid = energy(&forced);
+        forced.advance(0.02, 750);
+        let late = energy(&forced);
+        assert!(late > 0.2 * mid && late < 5.0 * mid, "bounded fluctuation: {mid} -> {late}");
+    }
+
+    #[test]
+    fn clear_forcing_restores_decay() {
+        use crate::forcing::Forcing;
+        let n = 24;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, 0.05);
+        ns.set_forcing(&Forcing::kolmogorov(n, 2.0 * PI, 2, 0.2, 0.0));
+        ns.set_vorticity(&taylor_green_vorticity(n, 0.2));
+        ns.advance(0.05, 200);
+        ns.clear_forcing();
+        let z0 = ns.vorticity().dot(&ns.vorticity());
+        ns.advance(0.05, 400);
+        let z1 = ns.vorticity().dot(&ns.vorticity());
+        assert!(z1 < z0, "enstrophy must decay once forcing is removed");
+    }
+
+    #[test]
+    fn cfl_dt_is_positive_and_scales() {
+        let n = 32;
+        let mut ns = SpectralNs::new(n, 2.0 * PI, 0.01);
+        ns.set_vorticity(&taylor_green_vorticity(n, 0.3));
+        let dt1 = ns.cfl_dt();
+        assert!(dt1 > 0.0);
+        ns.set_vorticity(&taylor_green_vorticity(n, 0.6));
+        let dt2 = ns.cfl_dt();
+        assert!(dt2 < dt1, "faster flow must shrink the CFL step");
+    }
+}

@@ -1,0 +1,341 @@
+//! A minimal `f64` complex scalar.
+//!
+//! The workspace avoids external numeric crates, so the complex arithmetic
+//! needed by the FFT and the spectral convolution layers lives here. The type
+//! is `Copy`, `#[repr(C)]`, and all operations are `#[inline]` so complex
+//! loops compile down to plain floating-point arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — the unit complex number at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Multiplication by `i` (rotation by +90°), cheaper than a full multiply.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex64 { re: -self.im, im: self.re }
+    }
+
+    /// Multiplication by `-i` (rotation by -90°).
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex64 { re: self.im, im: -self.re }
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        Complex64 { re: r * c, im: r * s }
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let m = self.abs();
+        let re = ((m + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((m - self.re) * 0.5).max(0.0).sqrt();
+        let im = if self.im >= 0.0 { im_mag } else { -im_mag };
+        Complex64 { re, im }
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: Complex64, c: Complex64) -> Self {
+        Complex64 {
+            re: self.re * b.re - self.im * b.im + c.re,
+            im: self.re * b.im + self.im * b.re + c.im,
+        }
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w ≡ z·w⁻¹ by definition
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64 { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z * z.recip(), Complex64::ONE));
+        assert!(close(z / z, Complex64::ONE));
+        assert!(close(-z + z, Complex64::ZERO));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), Complex64::from_re(25.0)));
+        assert_eq!(z.conj().im, 4.0);
+    }
+
+    #[test]
+    fn cis_and_exp_agree() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let a = Complex64::cis(theta);
+            let b = Complex64::new(0.0, theta).exp();
+            assert!(close(a, b), "theta={theta}");
+            assert!((a.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let z = Complex64::new(1.5, -2.5);
+        assert!(close(z.mul_i(), z * Complex64::I));
+        assert!(close(z.mul_neg_i(), z * -Complex64::I));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (1.0, 1.0), (-3.0, -7.0), (0.0, 2.0)] {
+            let z = Complex64::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z), "z={z}");
+            assert!(r.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 0.25);
+        let c = Complex64::new(3.0, -1.0);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let zs = [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)];
+        let s: Complex64 = zs.iter().copied().sum();
+        assert!(close(s, Complex64::new(3.0, -2.0)));
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        use std::f64::consts::FRAC_PI_2;
+        assert_eq!(Complex64::new(1.0, 0.0).arg(), 0.0);
+        assert!((Complex64::new(0.0, 1.0).arg() - FRAC_PI_2).abs() < 1e-15);
+        assert!((Complex64::new(0.0, -1.0).arg() + FRAC_PI_2).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,153 @@
+//! Small dense linear-algebra helpers on top of [`Tensor`].
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// Row-major matrix product of a `[m, k]` and a `[k, n]` tensor.
+///
+/// Parallelized over rows of the output; the inner loops are written in the
+/// (i, l, j) order so the innermost loop streams both `b` and `out`
+/// contiguously.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    out.data_mut()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| {
+            for l in 0..k {
+                let aval = ad[i * k + l];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bd[l * n..(l + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(brow) {
+                    *o += aval * bv;
+                }
+            }
+        });
+    out
+}
+
+/// Transpose of a rank-2 tensor.
+pub fn transpose2(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "transpose2 requires rank 2");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let ad = a.data();
+    Tensor::from_fn(&[n, m], |idx| ad[idx[1] * n + idx[0]])
+}
+
+/// `n` evenly spaced values covering `[start, end)` (endpoint excluded, the
+/// natural sampling for a periodic domain).
+pub fn linspace_periodic(start: f64, end: f64, n: usize) -> Tensor {
+    assert!(n > 0, "linspace_periodic needs n > 0");
+    let step = (end - start) / n as f64;
+    Tensor::from_fn(&[n], |idx| start + idx[0] as f64 * step)
+}
+
+/// `n` evenly spaced values covering `[start, end]` inclusive.
+pub fn linspace(start: f64, end: f64, n: usize) -> Tensor {
+    assert!(n > 1, "linspace needs n > 1");
+    let step = (end - start) / (n - 1) as f64;
+    Tensor::from_fn(&[n], |idx| start + idx[0] as f64 * step)
+}
+
+/// Pearson correlation coefficient between two flattened tensors.
+pub fn correlation(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation requires equal element counts");
+    let (ma, mb) = (a.mean(), b.mean());
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let (fx, fy) = (x - ma, y - mb);
+        num += fx * fy;
+        da += fx * fx;
+        db += fy * fy;
+    }
+    num / (da.sqrt() * db.sqrt())
+}
+
+/// Relative L2 distance `‖a − b‖₂ / ‖b‖₂` between two flattened tensors.
+pub fn relative_l2(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative_l2 requires equal element counts");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    (num / den).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn(&[3, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let eye = Tensor::from_fn(&[3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        assert!(matmul(&a, &eye).allclose(&a, 1e-14));
+        assert!(matmul(&eye, &a).allclose(&a, 1e-14));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[4, 7], |i| (i[0] * 7 + i[1]) as f64);
+        let t = transpose2(&a);
+        assert_eq!(t.dims(), &[7, 4]);
+        assert_eq!(t.at(&[6, 3]), a.at(&[3, 6]));
+        assert!(transpose2(&t).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_identity() {
+        // (AB)^T == B^T A^T
+        let a = Tensor::from_fn(&[2, 4], |i| (i[0] + 2 * i[1]) as f64);
+        let b = Tensor::from_fn(&[4, 3], |i| (i[0] * 3) as f64 - i[1] as f64);
+        let lhs = transpose2(&matmul(&a, &b));
+        let rhs = matmul(&transpose2(&b), &transpose2(&a));
+        assert!(lhs.allclose(&rhs, 1e-13));
+    }
+
+    #[test]
+    fn linspace_variants() {
+        let p = linspace_periodic(0.0, 1.0, 4);
+        assert_eq!(p.data(), &[0.0, 0.25, 0.5, 0.75]);
+        let l = linspace(0.0, 1.0, 5);
+        assert_eq!(l.data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn correlation_limits() {
+        let a = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((correlation(&a, &a) - 1.0).abs() < 1e-14);
+        let b = a.scale(-2.0);
+        assert!((correlation(&a, &b) + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn relative_l2_zero_for_equal() {
+        let a = Tensor::from_vec(&[3], vec![1.0, -2.0, 4.0]);
+        assert_eq!(relative_l2(&a, &a), 0.0);
+        let b = a.scale(2.0);
+        assert!((relative_l2(&a, &b) - 0.5).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the tensor substrate: algebraic identities of
+//! the elementwise/reduction operations and the shape machinery.
+
+use ft_tensor::ops::{correlation, matmul, relative_l2, transpose2};
+use ft_tensor::{Complex64, CTensor, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_index_roundtrip(dims in prop::collection::vec(1usize..6, 1..4)) {
+        let s = Shape::new(&dims);
+        for lin in 0..s.len() {
+            let idx = s.multi_index(lin);
+            prop_assert_eq!(s.linear_index(&idx), lin);
+            for (axis, &i) in idx.iter().enumerate() {
+                prop_assert!(i < s.dim(axis));
+            }
+        }
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative(a in tensor(12), b in tensor(12), c in tensor(12)) {
+        let ta = Tensor::from_vec(&[3, 4], a);
+        let tb = Tensor::from_vec(&[3, 4], b);
+        let tc = Tensor::from_vec(&[3, 4], c);
+        prop_assert!(ta.add(&tb).allclose(&tb.add(&ta), 1e-12));
+        prop_assert!(ta.add(&tb).add(&tc).allclose(&ta.add(&tb.add(&tc)), 1e-9));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor(8), b in tensor(8), s in -10.0f64..10.0) {
+        let ta = Tensor::from_vec(&[8], a);
+        let tb = Tensor::from_vec(&[8], b);
+        let lhs = ta.add(&tb).scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s));
+        prop_assert!(lhs.allclose(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in tensor(10), b in tensor(10), s in -5.0f64..5.0) {
+        let ta = Tensor::from_vec(&[10], a);
+        let tb = Tensor::from_vec(&[10], b);
+        prop_assert!((ta.scale(s).dot(&tb) - s * ta.dot(&tb)).abs() < 1e-7 * (1.0 + ta.dot(&tb).abs()));
+        prop_assert!((ta.dot(&tb) - tb.dot(&ta)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in tensor(16), b in tensor(16)) {
+        let ta = Tensor::from_vec(&[16], a);
+        let tb = Tensor::from_vec(&[16], b);
+        prop_assert!(ta.dot(&tb).abs() <= ta.norm_l2() * tb.norm_l2() + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_shift_invariant(a in tensor(20), shift in -50.0f64..50.0) {
+        let ta = Tensor::from_vec(&[20], a);
+        let tb = ta.map(|v| v + shift);
+        prop_assert!((ta.variance() - tb.variance()).abs() < 1e-7 * (1.0 + ta.variance()));
+    }
+
+    #[test]
+    fn matmul_associativity(a in tensor(6), b in tensor(6), c in tensor(6)) {
+        let ta = Tensor::from_vec(&[2, 3], a);
+        let tb = Tensor::from_vec(&[3, 2], b);
+        let tc = Tensor::from_vec(&[2, 3], c);
+        let lhs = matmul(&matmul(&ta, &tb), &tc);
+        let rhs = matmul(&ta, &matmul(&tb, &tc));
+        prop_assert!(lhs.allclose(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn transpose_preserves_norm(a in tensor(15)) {
+        let ta = Tensor::from_vec(&[3, 5], a);
+        prop_assert!((transpose2(&ta).norm_l2() - ta.norm_l2()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn correlation_is_affine_invariant(a in tensor(12), b in tensor(12),
+                                       s in 0.1f64..10.0, t in -5.0f64..5.0) {
+        let ta = Tensor::from_vec(&[12], a);
+        let tb = Tensor::from_vec(&[12], b);
+        prop_assume!(ta.std() > 1e-6 && tb.std() > 1e-6);
+        let c1 = correlation(&ta, &tb);
+        let c2 = correlation(&ta.map(|v| s * v + t), &tb);
+        prop_assert!((c1 - c2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relative_l2_triangle_like(a in tensor(9), b in tensor(9)) {
+        let ta = Tensor::from_vec(&[9], a);
+        let tb = Tensor::from_vec(&[9], b);
+        prop_assume!(tb.norm_l2() > 1e-6);
+        let r = relative_l2(&ta, &tb);
+        prop_assert!(r >= 0.0);
+        // r ≤ (‖a‖ + ‖b‖)/‖b‖.
+        prop_assert!(r <= (ta.norm_l2() + tb.norm_l2()) / tb.norm_l2() + 1e-9);
+    }
+
+    #[test]
+    fn stack_then_index_axis0_roundtrip(a in tensor(6), b in tensor(6)) {
+        let ta = Tensor::from_vec(&[2, 3], a);
+        let tb = Tensor::from_vec(&[2, 3], b);
+        let s = Tensor::stack(&[ta.clone(), tb.clone()]);
+        prop_assert!(s.index_axis0(0).allclose(&ta, 0.0));
+        prop_assert!(s.index_axis0(1).allclose(&tb, 0.0));
+    }
+
+    #[test]
+    fn complex_conj_mul_gives_norm(re in -10.0f64..10.0, im in -10.0f64..10.0) {
+        let z = Complex64::new(re, im);
+        let p = z * z.conj();
+        prop_assert!((p.re - z.norm_sqr()).abs() < 1e-9);
+        prop_assert!(p.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ctensor_add_conj_distributes(a in tensor(8), b in tensor(8)) {
+        let ca = CTensor::from_fn(&[4], |i| Complex64::new(a[i[0]], a[i[0] + 4]));
+        let cb = CTensor::from_fn(&[4], |i| Complex64::new(b[i[0]], b[i[0] + 4]));
+        // conj(a + b) = conj(a) + conj(b)
+        let lhs = ca.add(&cb).conj();
+        let rhs = ca.conj().add(&cb.conj());
+        prop_assert!(lhs.allclose(&rhs, 1e-12));
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate a small 2D decaying-turbulence dataset, train a
+//! Fourier neural operator on it, and predict the flow ten frames ahead.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fno2d_turbulence::data::{windows, DatasetConfig, TurbulenceDataset, WindowSpec};
+use fno2d_turbulence::data::split_components;
+use fno2d_turbulence::fno::rollout::{frame_errors, rollout};
+use fno2d_turbulence::fno::{Fno, FnoConfig, TrainConfig, Trainer};
+
+fn main() {
+    // 1. Generate a small ensemble of decaying 2D turbulence with the
+    //    paper's protocol (burn-in, then snapshots every 0.005 t_c).
+    println!("generating dataset…");
+    let mut cfg = DatasetConfig::small(32, 6, 40);
+    cfg.burn_in_tc = 0.1;
+    let ds = TurbulenceDataset::generate(cfg);
+    println!(
+        "  {} samples × {} snapshots on a {}×{} grid (Re ≈ {})",
+        ds.samples(),
+        ds.snapshots(),
+        ds.n_grid(),
+        ds.n_grid(),
+        ds.config.reynolds
+    );
+
+    // 2. Window the velocity-component trajectories into training pairs:
+    //    10 input snapshots → 5 output snapshots.
+    let flat = split_components(&ds.velocity);
+    let spec = WindowSpec::paper(5);
+    let mut train_pairs = Vec::new();
+    let mut test_traj = None;
+    for s in 0..flat.dims()[0] {
+        let traj = flat.index_axis0(s);
+        if s + 1 == flat.dims()[0] {
+            test_traj = Some(traj); // hold the last component out entirely
+        } else {
+            train_pairs.extend(windows(&traj, &spec));
+        }
+    }
+    println!("  {} training pairs", train_pairs.len());
+
+    // 3. Train a small 2D FNO with temporal channels.
+    println!("training FNO (10 input channels → 5 output channels)…");
+    let mut model_cfg = FnoConfig::fno2d(8, 4, 8, 5);
+    model_cfg.lifting_channels = 32;
+    model_cfg.projection_channels = 32;
+    println!("  {} parameters", model_cfg.param_count());
+    let model = Fno::new(model_cfg, 0);
+    let train_cfg = TrainConfig { epochs: 25, batch_size: 8, lr: 1e-3, ..Default::default() };
+    let mut trainer = Trainer::new(model, train_cfg);
+    let report = trainer.train(&train_pairs, &train_pairs[..4.min(train_pairs.len())]);
+    println!(
+        "  loss {:.4} → {:.4} in {:.1}s",
+        report.train_loss[0],
+        report.train_loss.last().unwrap(),
+        report.wall_seconds
+    );
+
+    // 4. Autoregressive rollout on the held-out trajectory.
+    let model = trainer.into_model();
+    let traj = test_traj.expect("held-out trajectory");
+    let history = traj.slice_axis0(0, 10);
+    let truth = traj.slice_axis0(10, 10);
+    let pred = rollout(&model, &history, 10);
+    println!("rollout relative L2 error per frame (held-out sample):");
+    for (i, e) in frame_errors(&pred, &truth).iter().enumerate() {
+        println!("  frame {:2}: {:.4}", i + 1, e);
+    }
+}

@@ -1,0 +1,90 @@
+//! Zero-shot resolution transfer — the property that makes the FNO an
+//! *operator* learner (paper Sec. II: it approximates a solution operator of
+//! "resolution-independent PDEs").
+//!
+//! A model is trained on 32² flows, then applied **unchanged** to the same
+//! continuum flows sampled at 64². No retraining, no interpolation: the
+//! spectral convolution reads whatever grid it is given.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example super_resolution
+//! ```
+
+use fno2d_turbulence::data::{
+    split_components, windows, DatasetConfig, TurbulenceDataset, WindowSpec,
+};
+use fno2d_turbulence::fno::train::evaluate;
+use fno2d_turbulence::fno::{Fno, FnoConfig, TrainConfig, Trainer};
+use fno2d_turbulence::lbm::IcSpec;
+
+fn make_dataset(grid: usize) -> TurbulenceDataset {
+    // Identical seeds + analytic band-limited ICs ⇒ the same continuum
+    // flow at every resolution that resolves the band.
+    let mut cfg = DatasetConfig::small(grid, 6, 30);
+    cfg.burn_in_tc = 0.1;
+    cfg.ic = IcSpec { k_min: 2, k_max: 5 };
+    cfg.seed = 42;
+    TurbulenceDataset::generate(cfg)
+}
+
+fn pairs_of(ds: &TurbulenceDataset) -> (Vec<ft_data_pair::Pair>, Vec<ft_data_pair::Pair>) {
+    let flat = split_components(&ds.velocity);
+    let spec = WindowSpec::paper(5);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for s in 0..flat.dims()[0] {
+        let p = windows(&flat.index_axis0(s), &spec);
+        if s < flat.dims()[0] - 2 {
+            train.extend(p);
+        } else {
+            test.extend(p);
+        }
+    }
+    (train, test)
+}
+
+// A tiny alias module so the signature above stays readable.
+mod ft_data_pair {
+    pub use fno2d_turbulence::data::Pair;
+}
+
+fn main() {
+    println!("generating the same flows at 32² and 64²…");
+    let coarse = make_dataset(32);
+    let fine = make_dataset(64);
+
+    let (train, test_lo) = pairs_of(&coarse);
+    let (_, test_hi) = pairs_of(&fine);
+    println!("  {} training pairs at 32²", train.len());
+
+    println!("training at 32²…");
+    let mut cfg = FnoConfig::fno2d(8, 4, 8, 5);
+    cfg.lifting_channels = 32;
+    cfg.projection_channels = 32;
+    let model = Fno::new(cfg, 0);
+    let tcfg = TrainConfig { epochs: 20, batch_size: 8, lr: 5e-3, ..Default::default() };
+    let mut trainer = Trainer::new(model, tcfg);
+    let report = trainer.train(&train, &test_lo);
+    println!(
+        "  loss {:.4} → {:.4} in {:.1}s",
+        report.train_loss[0],
+        report.train_loss.last().unwrap(),
+        report.wall_seconds
+    );
+    let model = trainer.into_model();
+
+    // The same weights, evaluated at both resolutions.
+    let err_lo = evaluate(&model, &test_lo);
+    let err_hi = evaluate(&model, &test_hi);
+    println!("\nzero-shot evaluation of the 32²-trained model:");
+    println!("  32² held-out error: {err_lo:.4}");
+    println!("  64² held-out error: {err_hi:.4}  (no retraining, no interpolation)");
+    println!(
+        "\nthe spectral parameterization owns {}×{} weights regardless of grid, so the",
+        model.config().modes,
+        model.config().modes / 2 + 1
+    );
+    println!("operator transfers across discretizations — the property a convolutional or");
+    println!("DeepONet surrogate (branch tied to the training grid) structurally lacks.");
+}

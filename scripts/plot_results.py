@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Plot the CSV outputs of the figure/table harness binaries.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Reads every known CSV in `results/` (produced by
+`cargo run --release -p ft-bench --bin fig*`) and writes one PNG per
+figure into `out_dir` (default `results/plots/`). Requires matplotlib;
+every plot is optional — missing CSVs are skipped with a note.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def group_by(rows, key_idx):
+    out = defaultdict(list)
+    for r in rows:
+        out[r[key_idx]].append(r)
+    return out
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(results, "plots")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(out_dir, exist_ok=True)
+
+    def save(fig, name):
+        path = os.path.join(out_dir, name)
+        fig.tight_layout()
+        fig.savefig(path, dpi=130)
+        plt.close(fig)
+        print(f"wrote {path}")
+
+    def have(name):
+        p = os.path.join(results, name)
+        if os.path.exists(p):
+            return p
+        print(f"skip {name} (not found)")
+        return None
+
+    # Fig. 1: field statistics.
+    if p := have("fig1_field_stats.csv"):
+        _, rows = read_csv(p)
+        fig, axes = plt.subplots(3, 2, figsize=(9, 9), sharex=True)
+        titles = [
+            ("mean_raw", "mean (raw)"), ("mean_norm", "mean (normalized)"),
+            ("std_raw", "std (raw)"), ("std_norm", "std (normalized)"),
+            ("frob_raw", "Frobenius (raw)"), ("frob_norm", "Frobenius (normalized)"),
+        ]
+        cols = {n: i for i, n in enumerate(
+            ["sample", "t_tc", "mean_raw", "std_raw", "frob_raw", "mean_norm", "std_norm", "frob_norm"])}
+        for ax, (col, title) in zip(axes.flat, titles):
+            for sample, rs in group_by(rows, 0).items():
+                ax.plot([float(r[1]) for r in rs], [float(r[cols[col]]) for r in rs], lw=0.8)
+            ax.set_title(title)
+        for ax in axes[-1]:
+            ax.set_xlabel("t / t_c")
+        save(fig, "fig1_field_stats.png")
+
+    # Fig. 2 / Fig. 3: separation and correlation.
+    for name, ycol, ylabel in [
+        ("fig2_l2_separation.csv", 2, "‖ω(t) − ω(0)‖ / ‖ω(0)‖"),
+        ("fig3_projection.csv", 2, "correlation with ω(0)"),
+    ]:
+        if p := have(name):
+            _, rows = read_csv(p)
+            fig, ax = plt.subplots(figsize=(6, 4))
+            for sample, rs in group_by(rows, 0).items():
+                ax.plot([float(r[1]) for r in rs], [float(r[ycol]) for r in rs], lw=0.8)
+            ax.set_xlabel("t / t_c")
+            ax.set_ylabel(ylabel)
+            save(fig, name.replace(".csv", ".png"))
+
+    # Fig. 4: Lyapunov exponents.
+    if p := have("fig4_lyapunov.csv"):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for comp, rs in group_by(rows, 0).items():
+            ax.plot([float(r[1]) for r in rs], [float(r[2]) for r in rs], marker="o", ms=3, label=comp)
+        ax.set_xlabel("t / t_c")
+        ax.set_ylabel("λ_i (1/t_c)")
+        ax.legend()
+        save(fig, "fig4_lyapunov.png")
+
+    # Fig. 5: rollout error vs output channels.
+    if p := have("fig5_output_channels.csv"):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for config, rs in sorted(group_by(rows, 0).items()):
+            ax.plot([float(r[1]) for r in rs], [float(r[2]) for r in rs], marker="o", ms=3, label=config)
+        ax.set_xlabel("rollout frame")
+        ax.set_ylabel("relative L2 error")
+        ax.legend(fontsize=8)
+        save(fig, "fig5_output_channels.png")
+
+    # Fig. 8: long-term diagnostics.
+    if p := have("fig8_longterm.csv"):
+        _, rows = read_csv(p)
+        fig, axes = plt.subplots(1, 3, figsize=(12, 3.5))
+        for scheme, rs in group_by(rows, 0).items():
+            t = [float(r[1]) for r in rs]
+            for ax, col, title in zip(axes, (2, 3, 4), ("kinetic energy", "enstrophy", "divergence ‖·‖₂")):
+                ax.plot(t, [float(r[col]) for r in rs], label=scheme, lw=1.0)
+                ax.set_title(title)
+                ax.set_xlabel("t / t_c")
+        axes[2].set_yscale("log")
+        axes[0].legend()
+        save(fig, "fig8_longterm.png")
+
+    # Fig. 9: percentage errors.
+    if p := have("fig9_energy_errors.csv"):
+        _, rows = read_csv(p)
+        fig, axes = plt.subplots(1, 2, figsize=(9, 3.5), sharex=True)
+        for scheme, rs in group_by(rows, 0).items():
+            t = [float(r[1]) for r in rs]
+            axes[0].plot(t, [float(r[2]) for r in rs], label=scheme)
+            axes[1].plot(t, [float(r[3]) for r in rs], label=scheme)
+        axes[0].set_title("K.E. error %")
+        axes[1].set_title("enstrophy error %")
+        for ax in axes:
+            ax.set_xlabel("t / t_c")
+            ax.set_yscale("log")
+        axes[0].legend()
+        save(fig, "fig9_energy_errors.png")
+
+    # Spectral bias E(k).
+    if p := have("ext_spectral_bias.csv"):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for scheme, rs in group_by(rows, 0).items():
+            k = [float(r[1]) for r in rs]
+            e = [float(r[2]) for r in rs]
+            ax.loglog([x for x in k if x > 0], [y for x, y in zip(k, e) if x > 0], label=scheme)
+        ax.set_xlabel("k")
+        ax.set_ylabel("E(k)")
+        ax.legend()
+        save(fig, "ext_spectral_bias.png")
+
+    # Baselines comparison.
+    if p := have("ext_baselines.csv"):
+        _, rows = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for method, rs in group_by(rows, 0).items():
+            ax.plot([float(r[1]) for r in rs], [float(r[2]) for r in rs], marker="o", ms=3, label=method)
+        ax.set_xlabel("rollout frame")
+        ax.set_ylabel("relative L2 error")
+        ax.legend()
+        save(fig, "ext_baselines.png")
+
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

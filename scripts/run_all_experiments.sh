@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure, ablation and extension of the paper
+# reproduction. CSV output lands in results/; each binary also prints its
+# paper-shape checks to stderr.
+#
+# Usage:
+#   scripts/run_all_experiments.sh            # default (minutes-scale)
+#   FT_FAST=1 scripts/run_all_experiments.sh  # seconds-scale smoke run
+#   scripts/run_all_experiments.sh --full     # the paper's 256²/5000-sample
+#                                             # configuration (days of CPU)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  # paper tables and figures
+  fig1_field_stats fig2_l2_separation fig3_projection fig4_lyapunov
+  table1_params fig5_output_channels fig6_hparam_2d fig7_hparam_3d
+  fig8_longterm fig9_energy_errors
+  # design-choice ablations
+  ablation_entropic ablation_dealiasing ablation_loss ablation_norm
+  ablation_divloss ablation_resolution ablation_hybrid_window
+  # extensions from the paper's outlook
+  ext_spectral_bias ext_baselines ext_deeponet ext_reynolds_transfer
+  ext_ensemble
+)
+
+for bin in "${BINS[@]}"; do
+  echo "===== ${bin} ====="
+  cargo run --release -p ft-bench --bin "${bin}" -- "$@"
+done
+
+echo "all experiments done — CSVs in results/, plots via scripts/plot_results.py"

@@ -1,0 +1,339 @@
+//! `fno2dturb` — command-line interface to the fno2d-turbulence library.
+//!
+//! ```text
+//! fno2dturb generate --out data.ftt [--grid 32] [--samples 8] [--snapshots 40]
+//!                    [--reynolds 1000] [--solver spectral|lbm|bgk] [--seed 0]
+//! fno2dturb train    --data data.ftt --model model.fnc [--width 8] [--layers 4]
+//!                    [--modes 8] [--out-channels 5] [--epochs 20] [--lr 5e-3]
+//!                    [--batch 8] [--div-weight 0] [--train-frac 0.8]
+//! fno2dturb rollout  --data data.ftt --model model.fnc [--sample 0] [--frames 10]
+//!                    [--out pred.ftt]
+//! fno2dturb hybrid   --data data.ftt --model model.fnc [--frames 60]
+//!                    [--scheme hybrid|fno|pde] [--window 5] [--reynolds 1000]
+//! ```
+//!
+//! `generate` writes a `[S, T, 2, H, W]` velocity tensor in the FTT1 format;
+//! `train` fits a 2D FNO with temporal channels and writes a single-file
+//! model (config + weights); `rollout` autoregressively forecasts a sample
+//! and reports per-frame errors; `hybrid` marches one of the three schemes
+//! and prints the Fig. 8 diagnostics.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fno2d_turbulence::data::{
+    load_tensor, save_tensor, split_components, windows, DatasetConfig, SolverKind,
+    TurbulenceDataset, WindowSpec,
+};
+use fno2d_turbulence::fno::rollout::{frame_errors, rollout};
+use fno2d_turbulence::fno::{
+    Fno, FnoConfig, HybridConfig, HybridScheme, Scheme, TrainConfig, Trainer,
+};
+use fno2d_turbulence::lbm::IcSpec;
+use fno2d_turbulence::ns::SpectralNs;
+use fno2d_turbulence::tensor::Tensor;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "train" => cmd_train(&opts),
+        "rollout" => cmd_rollout(&opts),
+        "hybrid" => cmd_hybrid(&opts),
+        "ensemble" => cmd_ensemble(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fno2dturb generate --out data.ftt [--grid N] [--samples S] [--snapshots T]
+                     [--reynolds RE] [--solver spectral|lbm|bgk] [--seed K]
+  fno2dturb train    --data data.ftt --model model.fnc [--width W] [--layers L]
+                     [--modes M] [--out-channels K] [--epochs E] [--lr LR]
+                     [--batch B] [--div-weight WD] [--train-frac F]
+  fno2dturb rollout  --data data.ftt --model model.fnc [--sample I] [--frames N]
+                     [--out pred.ftt]
+  fno2dturb hybrid   --data data.ftt --model model.fnc [--frames N]
+                     [--scheme hybrid|fno|pde] [--window K] [--reynolds RE]
+  fno2dturb ensemble --data data.ftt --model model.fnc [--sample I] [--frames N]
+                     [--members M] [--delta D]";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got `{a}`"))?;
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), val.clone());
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("--{key} is required"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let out = require(opts, "out")?;
+    let grid: usize = get(opts, "grid", 32)?;
+    let samples: usize = get(opts, "samples", 8)?;
+    let snapshots: usize = get(opts, "snapshots", 40)?;
+    let reynolds: f64 = get(opts, "reynolds", 1000.0)?;
+    let seed: u64 = get(opts, "seed", 0)?;
+    let solver = match opts.get("solver").map(String::as_str).unwrap_or("spectral") {
+        "spectral" => SolverKind::SpectralNs,
+        "lbm" => SolverKind::EntropicLbm,
+        "bgk" => SolverKind::BgkLbm,
+        other => return Err(format!("--solver: unknown `{other}`")),
+    };
+
+    eprintln!("generating {samples} × {snapshots} snapshots on {grid}×{grid} (Re ≈ {reynolds})…");
+    let cfg = DatasetConfig {
+        n_grid: grid,
+        samples,
+        snapshots,
+        dt_sample_tc: 0.005,
+        burn_in_tc: if grid >= 128 { 0.5 } else { 0.1 },
+        reynolds,
+        ic: IcSpec { k_min: 2, k_max: (grid / 6).clamp(3, 8) },
+        solver,
+        seed,
+    };
+    let ds = TurbulenceDataset::generate(cfg);
+    save_tensor(out, &ds.velocity).map_err(|e| e.to_string())?;
+    eprintln!("wrote {out} ({:?})", ds.velocity.dims());
+    Ok(())
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), String> {
+    let data = require(opts, "data")?;
+    let model_path = require(opts, "model")?;
+    let width: usize = get(opts, "width", 8)?;
+    let layers: usize = get(opts, "layers", 4)?;
+    let modes: usize = get(opts, "modes", 8)?;
+    let out_channels: usize = get(opts, "out-channels", 5)?;
+    let epochs: usize = get(opts, "epochs", 20)?;
+    let lr: f64 = get(opts, "lr", 5e-3)?;
+    let batch: usize = get(opts, "batch", 8)?;
+    let div_weight: f64 = get(opts, "div-weight", 0.0)?;
+    let train_frac: f64 = get(opts, "train-frac", 0.8)?;
+
+    let velocity = load_tensor(data).map_err(|e| e.to_string())?;
+    if velocity.shape().rank() != 5 {
+        return Err(format!("--data: expected [S,T,2,H,W], got {:?}", velocity.dims()));
+    }
+    let flat = split_components(&velocity);
+    let spec = WindowSpec { input_len: 10, output_len: out_channels, stride: out_channels };
+    let total = flat.dims()[0];
+    let split = ((total as f64 * train_frac).round() as usize).clamp(1, total - 1);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for s in 0..total {
+        let pairs = windows(&flat.index_axis0(s), &spec);
+        if s < split {
+            train.extend(pairs);
+        } else {
+            test.extend(pairs);
+        }
+    }
+    if train.is_empty() {
+        return Err("no training pairs (too few snapshots for the window?)".into());
+    }
+    eprintln!("{} train pairs, {} test pairs", train.len(), test.len());
+
+    let mut cfg = FnoConfig::fno2d(width, layers, modes, out_channels);
+    if velocity.dims()[4] < 128 {
+        cfg.lifting_channels = 32;
+        cfg.projection_channels = 32;
+    }
+    eprintln!("model: {} parameters", cfg.param_count());
+    let model = Fno::new(cfg, 7);
+    let tcfg = TrainConfig {
+        epochs,
+        batch_size: batch,
+        lr,
+        scheduler_gamma: 0.5,
+        scheduler_step: 100,
+        seed: 0,
+        divergence_weight: div_weight,
+        ..Default::default()
+    };
+    let mut trainer = Trainer::new(model, tcfg);
+    let report = trainer.train(&train, &test);
+    eprintln!(
+        "loss {:.4e} → {:.4e}, test error {:.4e}, {:.1}s",
+        report.train_loss[0],
+        report.train_loss.last().unwrap(),
+        report.test_error,
+        report.wall_seconds
+    );
+    let mut model = trainer.into_model();
+    model.save(model_path).map_err(|e| e.to_string())?;
+    eprintln!("wrote {model_path}");
+    Ok(())
+}
+
+fn load_sample_history(
+    velocity: &Tensor,
+    sample: usize,
+) -> Result<(Vec<(Tensor, Tensor)>, usize), String> {
+    let dims = velocity.dims().to_vec();
+    if dims.len() != 5 {
+        return Err(format!("--data: expected [S,T,2,H,W], got {dims:?}"));
+    }
+    if sample >= dims[0] {
+        return Err(format!("--sample {sample} out of range ({} samples)", dims[0]));
+    }
+    if dims[1] < 10 {
+        return Err("need at least 10 snapshots of history".into());
+    }
+    let traj = velocity.index_axis0(sample);
+    let hist: Vec<(Tensor, Tensor)> = (0..10)
+        .map(|t| {
+            let snap = traj.index_axis0(t);
+            (snap.index_axis0(0), snap.index_axis0(1))
+        })
+        .collect();
+    Ok((hist, dims[4]))
+}
+
+fn cmd_rollout(opts: &Opts) -> Result<(), String> {
+    let data = require(opts, "data")?;
+    let model_path = require(opts, "model")?;
+    let sample: usize = get(opts, "sample", 0)?;
+    let frames: usize = get(opts, "frames", 10)?;
+
+    let velocity = load_tensor(data).map_err(|e| e.to_string())?;
+    let model = Fno::load(model_path).map_err(|e| e.to_string())?;
+    let flat = split_components(&velocity);
+    let comp = flat.index_axis0(sample * 2); // u_x component of the sample
+    let t_avail = comp.dims()[0];
+    if t_avail < 10 {
+        return Err("need at least 10 snapshots of history".into());
+    }
+
+    let hist = comp.slice_axis0(0, 10);
+    let pred = rollout(&model, &hist, frames);
+
+    // Errors where truth exists.
+    let have_truth = (t_avail - 10).min(frames);
+    if have_truth > 0 {
+        let truth = comp.slice_axis0(10, have_truth);
+        let pred_head = pred.slice_axis0(0, have_truth);
+        println!("frame,rel_l2_error");
+        for (i, e) in frame_errors(&pred_head, &truth).iter().enumerate() {
+            println!("{},{e:.6e}", i + 1);
+        }
+    }
+    if let Some(out) = opts.get("out") {
+        save_tensor(out, &pred).map_err(|e| e.to_string())?;
+        eprintln!("wrote {out} ({:?})", pred.dims());
+    }
+    Ok(())
+}
+
+fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
+    let data = require(opts, "data")?;
+    let model_path = require(opts, "model")?;
+    let frames: usize = get(opts, "frames", 60)?;
+    let window: usize = get(opts, "window", 5)?;
+    let reynolds: f64 = get(opts, "reynolds", 1000.0)?;
+    let scheme = match opts.get("scheme").map(String::as_str).unwrap_or("hybrid") {
+        "hybrid" => Scheme::Hybrid,
+        "fno" => Scheme::PureFno,
+        "pde" => Scheme::PurePde,
+        other => return Err(format!("--scheme: unknown `{other}`")),
+    };
+    let sample: usize = get(opts, "sample", 0)?;
+
+    let velocity = load_tensor(data).map_err(|e| e.to_string())?;
+    let model = Fno::load(model_path).map_err(|e| e.to_string())?;
+    let (hist, n) = load_sample_history(&velocity, sample)?;
+
+    let nu = 0.05 * n as f64 / reynolds;
+    let mut solver = SpectralNs::new(n, n as f64, nu);
+    let hcfg = HybridConfig { window_frames: window, dt_frame_tc: 0.005, t_c: n as f64 / 0.05 };
+    let log = HybridScheme::new(&model, &mut solver, hcfg).run(&hist, frames, scheme);
+
+    println!("t_tc,kinetic_energy,enstrophy,divergence_norm");
+    for i in 0..log.times.len() {
+        println!(
+            "{:.4},{:.6e},{:.6e},{:.6e}",
+            log.times[i], log.kinetic_energy[i], log.enstrophy[i], log.divergence[i]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ensemble(opts: &Opts) -> Result<(), String> {
+    use fno2d_turbulence::fno::ensemble::ensemble_rollout;
+    let data = require(opts, "data")?;
+    let model_path = require(opts, "model")?;
+    let sample: usize = get(opts, "sample", 0)?;
+    let frames: usize = get(opts, "frames", 10)?;
+    let members: usize = get(opts, "members", 8)?;
+
+    let velocity = load_tensor(data).map_err(|e| e.to_string())?;
+    let model = Fno::load(model_path).map_err(|e| e.to_string())?;
+    let flat = split_components(&velocity);
+    if sample * 2 >= flat.dims()[0] {
+        return Err(format!("--sample {sample} out of range"));
+    }
+    let comp = flat.index_axis0(sample * 2);
+    if comp.dims()[0] < 10 {
+        return Err("need at least 10 snapshots of history".into());
+    }
+    let hist = comp.slice_axis0(0, 10);
+    let default_delta = 0.01 * hist.norm_l2();
+    let delta: f64 = get(opts, "delta", default_delta)?;
+
+    let ens = ensemble_rollout(&model, &hist, frames, members, delta);
+    println!("frame,relative_spread{}", if comp.dims()[0] >= 10 + frames { ",mean_rel_error" } else { "" });
+    for t in 0..frames {
+        let mean_frame = ens.mean.slice_axis0(t, 1);
+        let rms = mean_frame.norm_l2() / (mean_frame.len() as f64).sqrt();
+        let rel_spread = ens.spread[t] / rms.max(1e-300);
+        if comp.dims()[0] >= 10 + frames {
+            let truth = comp.slice_axis0(10 + t, 1);
+            let err = mean_frame.sub(&truth).norm_l2() / truth.norm_l2().max(1e-300);
+            println!("{},{rel_spread:.6e},{err:.6e}", t + 1);
+        } else {
+            println!("{},{rel_spread:.6e}", t + 1);
+        }
+    }
+    eprintln!("# {members} members, delta = {delta:.3e}");
+    Ok(())
+}

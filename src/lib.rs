@@ -1,0 +1,35 @@
+//! # fno2d-turbulence
+//!
+//! Rust reproduction of *"Fourier neural operators for spatiotemporal
+//! dynamics in two-dimensional turbulence"* (Atif et al., SC 2024).
+//!
+//! This umbrella crate re-exports the whole workspace so downstream users
+//! (and the `examples/` binaries) can depend on a single crate:
+//!
+//! * [`tensor`] — dense real/complex tensors,
+//! * [`fft`] — from-scratch FFTs (radix-2, mixed-radix, Bluestein, real, N-d),
+//! * [`lbm`] — entropic lattice Boltzmann D2Q9 data generator,
+//! * [`ns`] — pseudo-spectral and finite-difference Navier-Stokes solvers,
+//! * [`data`] — dataset generation, normalization, windowing, on-disk format,
+//! * [`analysis`] — flow statistics, spectra, Lyapunov exponents,
+//! * [`nn`] — neural-net substrate with hand-derived reverse-mode gradients,
+//! * [`fno`] — the paper's contribution: FNO2d/FNO3d, training, rollout and
+//!   the hybrid FNO-PDE orchestrator.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
+
+pub use ft_analysis as analysis;
+pub use ft_data as data;
+pub use ft_fft as fft;
+pub use ft_lbm as lbm;
+pub use ft_nn as nn;
+pub use ft_ns as ns;
+pub use ft_tensor as tensor;
+pub use fno_core as fno;
+
+/// Workspace version, mirrored from the crate metadata.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,104 @@
+//! End-to-end integration: dataset generation → windowing → training →
+//! autoregressive rollout, across the full crate stack.
+
+use fno2d_turbulence::data::{
+    split_components, windows, DatasetConfig, TurbulenceDataset, WindowSpec,
+};
+use fno2d_turbulence::fno::rollout::{frame_errors, rollout};
+use fno2d_turbulence::fno::{Fno, FnoConfig, TrainConfig, Trainer};
+
+fn tiny_dataset() -> TurbulenceDataset {
+    let mut cfg = DatasetConfig::small(16, 3, 24);
+    cfg.burn_in_tc = 0.05;
+    TurbulenceDataset::generate(cfg)
+}
+
+#[test]
+fn dataset_to_training_to_rollout() {
+    let ds = tiny_dataset();
+    let flat = split_components(&ds.velocity);
+    let spec = WindowSpec { input_len: 10, output_len: 2, stride: 2 };
+
+    let mut pairs = Vec::new();
+    for s in 0..flat.dims()[0] - 1 {
+        pairs.extend(windows(&flat.index_axis0(s), &spec));
+    }
+    assert!(pairs.len() >= 10, "enough pairs to train on: {}", pairs.len());
+
+    let mut cfg = FnoConfig::fno2d(4, 2, 4, 2);
+    cfg.lifting_channels = 8;
+    cfg.projection_channels = 8;
+    let model = Fno::new(cfg, 0);
+    let train_cfg = TrainConfig { epochs: 8, batch_size: 4, lr: 2e-3, ..Default::default() };
+    let mut trainer = Trainer::new(model, train_cfg);
+    let report = trainer.train(&pairs, &pairs[..2]);
+
+    // The loss must fall and the model must beat an untrained one on a
+    // held-out rollout.
+    let first = report.train_loss[0];
+    let last = *report.train_loss.last().unwrap();
+    assert!(last < first, "training must reduce the loss: {first} -> {last}");
+
+    let trained = trainer.into_model();
+    let held = flat.index_axis0(flat.dims()[0] - 1);
+    let hist = held.slice_axis0(0, 10);
+    let truth = held.slice_axis0(10, 6);
+    let pred = rollout(&trained, &hist, 6);
+    let trained_err: f64 = frame_errors(&pred, &truth).iter().sum::<f64>() / 6.0;
+
+    let mut cfg2 = FnoConfig::fno2d(4, 2, 4, 2);
+    cfg2.lifting_channels = 8;
+    cfg2.projection_channels = 8;
+    let untrained = Fno::new(cfg2, 99);
+    let pred0 = rollout(&untrained, &hist, 6);
+    let untrained_err: f64 = frame_errors(&pred0, &truth).iter().sum::<f64>() / 6.0;
+
+    assert!(
+        trained_err < untrained_err,
+        "training must help on held-out data: {trained_err} vs {untrained_err}"
+    );
+    assert!(trained_err.is_finite());
+}
+
+#[test]
+fn rollout_error_grows_with_horizon() {
+    // The compound-error mechanism: on chaotic data, the mean error of the
+    // last frames exceeds that of the first frames for an imperfect model.
+    let ds = tiny_dataset();
+    let flat = split_components(&ds.velocity);
+    let spec = WindowSpec { input_len: 10, output_len: 2, stride: 2 };
+    let mut pairs = Vec::new();
+    for s in 0..flat.dims()[0] - 1 {
+        pairs.extend(windows(&flat.index_axis0(s), &spec));
+    }
+    let mut cfg = FnoConfig::fno2d(4, 2, 4, 2);
+    cfg.lifting_channels = 8;
+    cfg.projection_channels = 8;
+    let model = Fno::new(cfg, 1);
+    let train_cfg = TrainConfig { epochs: 10, batch_size: 4, lr: 2e-3, ..Default::default() };
+    let mut trainer = Trainer::new(model, train_cfg);
+    trainer.train(&pairs, &pairs[..2]);
+    let model = trainer.into_model();
+
+    let held = flat.index_axis0(flat.dims()[0] - 1);
+    let hist = held.slice_axis0(0, 10);
+    let truth = held.slice_axis0(10, 10);
+    let errs = frame_errors(&rollout(&model, &hist, 10), &truth);
+    let early: f64 = errs[..3].iter().sum::<f64>() / 3.0;
+    let late: f64 = errs[7..].iter().sum::<f64>() / 3.0;
+    assert!(
+        late > early,
+        "iterated prediction must accumulate error: early {early} vs late {late}"
+    );
+}
+
+#[test]
+fn dataset_io_roundtrip_through_disk() {
+    let ds = tiny_dataset();
+    let mut path = std::env::temp_dir();
+    path.push(format!("fno2d_it_{}.ftt", std::process::id()));
+    fno2d_turbulence::data::save_tensor(&path, &ds.velocity).unwrap();
+    let back = fno2d_turbulence::data::load_tensor(&path).unwrap();
+    assert!(back.allclose(&ds.velocity, 0.0));
+    std::fs::remove_file(&path).ok();
+}
