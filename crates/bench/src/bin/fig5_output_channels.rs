@@ -45,7 +45,7 @@ fn main() {
             let flat = split_components(&ds.velocity);
             let test_start = knobs.train_samples * 2;
             let total = flat.dims()[0];
-            let mut acc = vec![0.0f64; 10];
+            let mut acc = [0.0f64; 10];
             let mut count = 0usize;
             for s in test_start..total {
                 let traj = flat.index_axis0(s);

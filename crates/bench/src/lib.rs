@@ -177,7 +177,10 @@ pub fn train_2d(
     (trainer.into_model(), report)
 }
 
-/// Opens `results/<name>` for CSV output, creating the directory.
+/// Opens `results/<name>` for CSV output, creating the directory. The
+/// writer is crash-consistent: rows accumulate in a temp file and the
+/// final CSV only appears (atomically) when the writer is dropped, so an
+/// interrupted run never leaves a half-written `results/*.csv`.
 pub fn csv(name: &str, header: &[&str]) -> ft_data::CsvWriter {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");

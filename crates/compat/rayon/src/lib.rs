@@ -1,0 +1,320 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the parallel-iterator subset it uses. Semantics match rayon
+//! where it matters:
+//!
+//! * `par_chunks_mut` / `par_chunks` / `par_iter_mut` / `into_par_iter`
+//!   entry points returning a [`ParIter`];
+//! * `enumerate`, `zip`, `map`, `for_each`, `collect`, `reduce` adapters;
+//! * terminal operations (`for_each`, `collect`, `reduce`) split the work
+//!   across `std::thread::scope` threads — real parallelism, no external
+//!   thread-pool crate.
+//!
+//! Small workloads (fewer items than [`MIN_PARALLEL_ITEMS`]) run inline to
+//! avoid paying thread-spawn latency per call. `ParIter` also implements
+//! [`Iterator`], so any adapter this shim does not special-case degrades
+//! gracefully to the sequential std implementation.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Below this many items a terminal operation runs inline; thread spawn
+/// costs (~tens of µs) would dominate.
+pub const MIN_PARALLEL_ITEMS: usize = 64;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `items` into at most `parts` contiguous batches, preserving order.
+fn split_batches<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Walk from the back so split_off is O(batch).
+    let mut sizes: Vec<usize> =
+        (0..parts).map(|i| base + usize::from(i < extra)).collect();
+    while let Some(size) = sizes.pop() {
+        let tail = items.split_off(items.len() - size);
+        out.push(tail);
+    }
+    out.reverse();
+    out
+}
+
+/// Runs `f` over every item, splitting batches across scoped threads.
+fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+    if items.len() < MIN_PARALLEL_ITEMS {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let batches = split_batches(items, num_threads());
+    std::thread::scope(|s| {
+        let f = &f;
+        for batch in batches {
+            s.spawn(move || batch.into_iter().for_each(f));
+        }
+    });
+}
+
+/// Maps every item, preserving order, splitting batches across threads.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    if items.len() < MIN_PARALLEL_ITEMS {
+        return items.into_iter().map(f).collect();
+    }
+    let batches = split_batches(items, num_threads());
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    out
+}
+
+/// A "parallel" iterator: a plain iterator whose terminal operations fan
+/// out over scoped threads.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pairs every item with its index (parity with rayon's `enumerate`).
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Zips with another (parallel or plain) iterator.
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter { inner: self.inner.zip(other) }
+    }
+
+    /// Lazily maps items; the closure runs on worker threads at the
+    /// terminal operation.
+    pub fn map<R, F: Fn(I::Item) -> R>(self, f: F) -> ParMap<I, F> {
+        ParMap { inner: self.inner, f }
+    }
+
+    /// Accepted for rayon parity; the shim ignores the hint.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        parallel_for_each(self.inner.collect(), f);
+    }
+}
+
+/// Lazily mapped parallel iterator (see [`ParIter::map`]).
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> Iterator for ParMap<I, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(&self.f)
+    }
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
+    /// Applies the map in parallel and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+    {
+        parallel_map(self.inner.collect(), self.f).into_iter().collect()
+    }
+
+    /// Applies the map and `f` in parallel over every item.
+    pub fn for_each<G>(self, g: G)
+    where
+        I::Item: Send,
+        R: Send,
+        G: Fn(R) + Sync,
+        F: Sync,
+    {
+        let map = self.f;
+        parallel_for_each(self.inner.collect(), move |x| g(map(x)));
+    }
+
+    /// Parallel fold-then-combine, rayon-style: `identity` seeds each
+    /// worker, `op` combines partial results pairwise.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let mapped = parallel_map(self.inner.collect(), self.f);
+        mapped.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Conversion into a parallel iterator (owning).
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator.
+    type Iter: Iterator;
+    /// Wraps `self` for parallel consumption.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Iter = std::ops::Range<u64>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+/// Shared-slice parallel views (`par_chunks`, `par_iter`).
+pub trait ParallelSlice<T: Sync> {
+    /// Chunked read-only view.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Per-element read-only view.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter { inner: self.chunks(size) }
+    }
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// Mutable-slice parallel views (`par_chunks_mut`, `par_iter_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Chunked mutable view; chunks are disjoint, so workers never alias.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Per-element mutable view.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter { inner: self.chunks_mut(size) }
+    }
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+/// Everything a `use rayon::prelude::*` consumer expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_for_each_touches_every_chunk() {
+        let mut data = vec![0u64; 1024];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 8) as u64);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_in_lockstep() {
+        let src: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; 512];
+        dst.par_chunks_mut(4).zip(src.par_chunks(4)).for_each(|(d, s)| {
+            d.copy_from_slice(s);
+        });
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn reduce_combines_all_parts() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .map(|i| vec![i])
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        let mut sorted = total;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_workloads_run_inline() {
+        // Below the threshold nothing should spawn; just verify behavior.
+        let mut data = vec![1.0f64; 8];
+        data.par_iter_mut().for_each(|x| *x *= 2.0);
+        assert!(data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn batches_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 3, 8] {
+                let items: Vec<usize> = (0..n).collect();
+                let batches = super::split_batches(items, parts);
+                let flat: Vec<usize> = batches.into_iter().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Full-state training checkpoints (`FTC1`).
+//!
+//! A checkpoint captures everything [`crate::Trainer::train`] needs to
+//! continue a run **bit-identically**: model parameters and the best-seen
+//! snapshot (embedded as FTW1 blobs), Adam moment estimates, the StepLR
+//! epoch, the shuffle RNG state, loss/eval histories, the early-stopping
+//! stale counter, the recovery LR scale, and the recovery event log.
+//!
+//! On-disk layout (little-endian):
+//!
+//! ```text
+//! "FTC1" | crc32 (u32) | payload_len (u64) | payload
+//! ```
+//!
+//! The CRC covers the payload; the loader verifies magic, exact length,
+//! and checksum before parsing a single field, so any corruption —
+//! truncation, bit flips, wrong file — is rejected with
+//! [`std::io::ErrorKind::InvalidData`] instead of a panic or a silently
+//! wrong resume. Writes go through a temp file in the target directory
+//! followed by an atomic rename, so a crash mid-write never leaves a
+//! half-written file under the checkpoint's final name.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use ft_nn::{load_param_values_from, save_param_values_to, AdamState, ParamValue};
+
+use crate::train::{RecoveryCause, RecoveryEvent};
+
+const MAGIC: &[u8; 4] = b"FTC1";
+const VERSION: u32 = 1;
+
+/// Where and how often [`crate::Trainer`] writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory for checkpoint files (created if missing). Each save
+    /// writes `epoch-NNNNN.ftc` and refreshes `latest.ftc`.
+    pub dir: PathBuf,
+    /// Save every this many epochs (0 disables periodic saves; a final
+    /// checkpoint is still written when training ends).
+    pub every: usize,
+    /// Keep at most this many `epoch-*.ftc` files, deleting the oldest
+    /// (0 keeps all). `latest.ftc` is never pruned.
+    pub keep_last: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `dir` every `every` epochs, keeping all files.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointConfig { dir: dir.into(), every, keep_last: 0 }
+    }
+}
+
+/// Complete training state at an epoch boundary.
+#[derive(Clone)]
+pub struct Checkpoint {
+    /// Epochs fully completed; resume starts at this epoch index.
+    pub epochs_done: u64,
+    /// Shuffle RNG state at the epoch boundary.
+    pub rng_state: u64,
+    /// Cumulative recovery LR multiplier (halved by each rollback).
+    pub lr_scale: f64,
+    /// Consecutive non-improving evaluations (early stopping).
+    pub stale: u64,
+    /// StepLR epochs elapsed.
+    pub sched_epoch: u64,
+    /// Adam moments and step count.
+    pub adam: AdamState,
+    /// Mean training loss per completed epoch.
+    pub train_loss: Vec<f64>,
+    /// `(epoch, held-out error)` per evaluation so far.
+    pub eval_history: Vec<(u64, f64)>,
+    /// Health-monitor recovery events so far.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Best-seen snapshot: `(epoch, error, weights)`.
+    pub best: Option<(u64, f64, Vec<ParamValue>)>,
+    /// Current model weights.
+    pub params: Vec<ParamValue>,
+}
+
+impl Checkpoint {
+    /// Serializes and atomically writes the checkpoint to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload)?;
+        let mut bytes = Vec::with_capacity(16 + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        write_atomic(path.as_ref(), &bytes)
+    }
+
+    /// Loads and validates a checkpoint. Magic, length, and CRC are checked
+    /// before any field is parsed; every failure mode maps to
+    /// `InvalidData` (or the underlying `io::Error` for filesystem
+    /// problems).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let bytes = fs::read(path)?;
+        if bytes.len() < 16 {
+            return Err(bad("checkpoint too short for FTC1 header"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(bad("not an FTC1 checkpoint"));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let payload = &bytes[16..];
+        if payload_len != payload.len() as u64 {
+            return Err(bad("checkpoint length does not match header"));
+        }
+        if crc32(payload) != stored_crc {
+            return Err(bad("checkpoint checksum mismatch"));
+        }
+        let mut r = payload;
+        let ck = Self::read_payload(&mut r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after checkpoint payload"));
+        }
+        Ok(ck)
+    }
+
+    fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.epochs_done.to_le_bytes())?;
+        w.write_all(&self.rng_state.to_le_bytes())?;
+        w.write_all(&self.lr_scale.to_le_bytes())?;
+        w.write_all(&self.stale.to_le_bytes())?;
+        w.write_all(&self.sched_epoch.to_le_bytes())?;
+
+        w.write_all(&self.adam.t.to_le_bytes())?;
+        w.write_all(&(self.adam.m.len() as u32).to_le_bytes())?;
+        for (m, v) in self.adam.m.iter().zip(&self.adam.v) {
+            w.write_all(&(m.len() as u64).to_le_bytes())?;
+            for &x in m {
+                w.write_all(&x.to_le_bytes())?;
+            }
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+
+        w.write_all(&(self.train_loss.len() as u64).to_le_bytes())?;
+        for &x in &self.train_loss {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        w.write_all(&(self.eval_history.len() as u64).to_le_bytes())?;
+        for &(e, err) in &self.eval_history {
+            w.write_all(&e.to_le_bytes())?;
+            w.write_all(&err.to_le_bytes())?;
+        }
+        w.write_all(&(self.recoveries.len() as u32).to_le_bytes())?;
+        for r in &self.recoveries {
+            w.write_all(&(r.epoch as u64).to_le_bytes())?;
+            w.write_all(&(r.batch as u64).to_le_bytes())?;
+            w.write_all(&[r.cause as u8])?;
+            w.write_all(&r.lr.to_le_bytes())?;
+        }
+
+        match &self.best {
+            None => w.write_all(&[0u8])?,
+            Some((epoch, err, snap)) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&epoch.to_le_bytes())?;
+                w.write_all(&err.to_le_bytes())?;
+                save_param_values_to(snap, w)?;
+            }
+        }
+        save_param_values_to(&self.params, w)
+    }
+
+    fn read_payload(r: &mut impl Read) -> io::Result<Checkpoint> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(bad("unsupported FTC version"));
+        }
+        let epochs_done = read_u64(r)?;
+        let rng_state = read_u64(r)?;
+        let lr_scale = read_f64(r)?;
+        let stale = read_u64(r)?;
+        let sched_epoch = read_u64(r)?;
+
+        let t = read_u64(r)?;
+        let n_params = read_u32(r)? as usize;
+        if n_params > 1 << 20 {
+            return Err(bad("implausible optimizer state size"));
+        }
+        let mut m = Vec::with_capacity(n_params);
+        let mut v = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            let len = read_u64(r)? as usize;
+            if len > 1 << 32 {
+                return Err(bad("implausible moment vector length"));
+            }
+            let mut mv = Vec::new();
+            for _ in 0..len {
+                mv.push(read_f64(r)?);
+            }
+            let mut vv = Vec::new();
+            for _ in 0..len {
+                vv.push(read_f64(r)?);
+            }
+            m.push(mv);
+            v.push(vv);
+        }
+        let adam = AdamState { m, v, t };
+
+        let n_loss = read_u64(r)? as usize;
+        if n_loss > 1 << 32 {
+            return Err(bad("implausible loss-history length"));
+        }
+        let mut train_loss = Vec::new();
+        for _ in 0..n_loss {
+            train_loss.push(read_f64(r)?);
+        }
+        let n_eval = read_u64(r)? as usize;
+        if n_eval > 1 << 32 {
+            return Err(bad("implausible eval-history length"));
+        }
+        let mut eval_history = Vec::new();
+        for _ in 0..n_eval {
+            let e = read_u64(r)?;
+            let err = read_f64(r)?;
+            eval_history.push((e, err));
+        }
+        let n_rec = read_u32(r)? as usize;
+        if n_rec > 1 << 20 {
+            return Err(bad("implausible recovery count"));
+        }
+        let mut recoveries = Vec::new();
+        for _ in 0..n_rec {
+            let epoch = read_u64(r)? as usize;
+            let batch = read_u64(r)? as usize;
+            let mut c = [0u8; 1];
+            r.read_exact(&mut c)?;
+            let cause = match c[0] {
+                0 => RecoveryCause::NonFiniteLoss,
+                1 => RecoveryCause::NonFiniteGrad,
+                _ => return Err(bad("unknown recovery cause")),
+            };
+            let lr = read_f64(r)?;
+            recoveries.push(RecoveryEvent { epoch, batch, cause, lr });
+        }
+
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let best = match flag[0] {
+            0 => None,
+            1 => {
+                let epoch = read_u64(r)?;
+                let err = read_f64(r)?;
+                let snap = load_param_values_from(r)?;
+                Some((epoch, err, snap))
+            }
+            _ => return Err(bad("corrupt best-snapshot flag")),
+        };
+        let params = load_param_values_from(r)?;
+
+        Ok(Checkpoint {
+            epochs_done,
+            rng_state,
+            lr_scale,
+            stale,
+            sched_epoch,
+            adam,
+            train_loss,
+            eval_history,
+            recoveries,
+            best,
+            params,
+        })
+    }
+}
+
+/// Writes `epoch-NNNNN.ftc`, refreshes `latest.ftc`, and prunes old files
+/// per `keep_last`. Used by the trainer; exposed for tools that manage
+/// checkpoint directories directly.
+pub fn save_periodic(ck: &Checkpoint, cfg: &CheckpointConfig) -> io::Result<PathBuf> {
+    fs::create_dir_all(&cfg.dir)?;
+    let name = format!("epoch-{:05}.ftc", ck.epochs_done);
+    let path = cfg.dir.join(&name);
+    ck.save(&path)?;
+    ck.save(cfg.dir.join("latest.ftc"))?;
+    if cfg.keep_last > 0 {
+        let mut epochs: Vec<PathBuf> = fs::read_dir(&cfg.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("epoch-") && n.ends_with(".ftc"))
+            })
+            .collect();
+        epochs.sort();
+        let excess = epochs.len().saturating_sub(cfg.keep_last);
+        for old in &epochs[..excess] {
+            fs::remove_file(old)?;
+        }
+    }
+    Ok(path)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = match path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => path.with_file_name(format!(".{name}.tmp")),
+        None => return Err(io::Error::new(io::ErrorKind::InvalidInput, "invalid path")),
+    };
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+/// CRC-32 (IEEE 802.3), bitwise implementation; checkpoints are written
+/// once per epoch, so throughput is irrelevant next to integrity.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_tensor::{CTensor, Complex64, Tensor};
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epochs_done: 7,
+            rng_state: 0xDEAD_BEEF_CAFE_F00D,
+            lr_scale: 0.25,
+            stale: 2,
+            sched_epoch: 7,
+            adam: AdamState {
+                m: vec![vec![0.1, -0.2], vec![3.0]],
+                v: vec![vec![0.01, 0.02], vec![9.0]],
+                t: 140,
+            },
+            train_loss: vec![1.0, 0.5, 0.25],
+            eval_history: vec![(1, 0.6), (3, 0.4)],
+            recoveries: vec![RecoveryEvent {
+                epoch: 2,
+                batch: 5,
+                cause: RecoveryCause::NonFiniteLoss,
+                lr: 5e-4,
+            }],
+            best: Some((
+                3,
+                0.4,
+                vec![ParamValue::Real(Tensor::from_vec(&[2], vec![1.0, 2.0]))],
+            )),
+            params: vec![
+                ParamValue::Real(Tensor::from_vec(&[2, 2], vec![1.0, -1.0, 0.5, 0.0])),
+                ParamValue::Complex(CTensor::from_vec(&[1], vec![Complex64::new(0.3, -0.7)])),
+            ],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ftc_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let ck = sample();
+        let p = tmp("roundtrip.ftc");
+        ck.save(&p).unwrap();
+        let back = Checkpoint::load(&p).unwrap();
+        assert_eq!(back.epochs_done, ck.epochs_done);
+        assert_eq!(back.rng_state, ck.rng_state);
+        assert_eq!(back.lr_scale.to_bits(), ck.lr_scale.to_bits());
+        assert_eq!(back.stale, ck.stale);
+        assert_eq!(back.sched_epoch, ck.sched_epoch);
+        assert_eq!(back.adam, ck.adam);
+        assert_eq!(back.train_loss, ck.train_loss);
+        assert_eq!(back.eval_history, ck.eval_history);
+        assert_eq!(back.recoveries, ck.recoveries);
+        assert!(back.best.is_some());
+        assert_eq!(back.params.len(), ck.params.len());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let ck = sample();
+        let p = tmp("bitflip.ftc");
+        ck.save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        // Flipping any bit of the header and the first payload bytes must
+        // be caught by the magic/length/CRC checks.
+        for byte in 0..32.min(bytes.len()) {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                std::fs::write(&p, &corrupt).unwrap();
+                let err = Checkpoint::load(&p).unwrap_err();
+                assert_eq!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData,
+                    "byte {byte} bit {bit} must be InvalidData, got {err}"
+                );
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let ck = sample();
+        let p = tmp("trunc.ftc");
+        ck.save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        for cut in [0, 3, 15, 16, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&p, &bytes[..cut]).unwrap();
+            let err = Checkpoint::load(&p).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = tmp("atomic_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = CheckpointConfig { dir: dir.clone(), every: 1, keep_last: 2 };
+        let mut ck = sample();
+        for e in 1..=4u64 {
+            ck.epochs_done = e;
+            save_periodic(&ck, &cfg).unwrap();
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().all(|n| !n.ends_with(".tmp")), "{names:?}");
+        assert!(names.contains(&"latest.ftc".to_string()));
+        let epochs: Vec<_> = names.iter().filter(|n| n.starts_with("epoch-")).collect();
+        assert_eq!(epochs.len(), 2, "keep_last prunes: {names:?}");
+        assert!(names.contains(&"epoch-00004.ftc".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

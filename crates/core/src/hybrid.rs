@@ -8,7 +8,7 @@
 //! energy/enstrophy error curves (Fig. 9) can be derived.
 
 use ft_analysis::stats::GlobalDiagnostics;
-use ft_ns::PdeSolver;
+use ft_ns::{PdeSolver, SolverError};
 use ft_tensor::Tensor;
 
 use crate::model::{Fno, ForecastModel};
@@ -110,6 +110,31 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
     /// The history's last frame is time 0; produced frames are at
     /// `dt_frame_tc, 2·dt_frame_tc, …` in convective units.
     pub fn run(&mut self, history: &[(Tensor, Tensor)], frames: usize, scheme: Scheme) -> TrajectoryLog {
+        self.march(history, frames, scheme, None)
+            .expect("unchecked march never raises")
+    }
+
+    /// Like [`HybridScheme::run`], but probes every produced state for
+    /// finiteness (the PDE solver every `check_every` substeps, each FNO
+    /// frame on emission) and stops with [`SolverError::BlowUp`] instead of
+    /// logging poisoned frames.
+    pub fn run_checked(
+        &mut self,
+        history: &[(Tensor, Tensor)],
+        frames: usize,
+        scheme: Scheme,
+        check_every: usize,
+    ) -> Result<TrajectoryLog, SolverError> {
+        self.march(history, frames, scheme, Some(check_every.max(1)))
+    }
+
+    fn march(
+        &mut self,
+        history: &[(Tensor, Tensor)],
+        frames: usize,
+        scheme: Scheme,
+        check_every: Option<usize>,
+    ) -> Result<TrajectoryLog, SolverError> {
         let c_in = self.model.in_channels();
         assert_eq!(
             history.len(),
@@ -133,6 +158,12 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
                 let (px, py) = rollout_paired(self.model, &hx, &hy, take);
                 for t in 0..take {
                     let (ux, uy) = (px.index_axis0(t), py.index_axis0(t));
+                    if check_every.is_some() && !(frame_finite(&ux) && frame_finite(&uy)) {
+                        return Err(SolverError::BlowUp {
+                            step: produced as u64,
+                            field: "fno velocity",
+                        });
+                    }
                     produced += 1;
                     log.push(produced as f64 * self.cfg.dt_frame_tc, ux.clone(), uy.clone());
                     push_window(&mut win_x, ux);
@@ -146,7 +177,10 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
                 let substeps = self.pde_substeps(dt_frame);
                 let dt = dt_frame / substeps as f64;
                 for _ in 0..take {
-                    self.solver.advance(dt, substeps);
+                    match check_every {
+                        Some(ce) => self.solver.try_advance(dt, substeps, ce)?,
+                        None => self.solver.advance(dt, substeps),
+                    }
                     let (ux, uy) = self.solver.velocity();
                     produced += 1;
                     log.push(produced as f64 * self.cfg.dt_frame_tc, ux.clone(), uy.clone());
@@ -160,7 +194,7 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
                 Scheme::PurePde => use_fno = false,
             }
         }
-        log
+        Ok(log)
     }
 
     /// Conservative substep count for one frame interval: CFL bound from
@@ -176,6 +210,16 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
 fn push_window(win: &mut Vec<Tensor>, frame: Tensor) {
     win.remove(0);
     win.push(frame);
+}
+
+/// Strided finiteness probe of one emitted frame (~64 samples).
+fn frame_finite(t: &Tensor) -> bool {
+    let data = t.data();
+    if data.is_empty() {
+        return true;
+    }
+    let stride = (data.len() / 64).max(1);
+    data.iter().step_by(stride).all(|x| x.is_finite()) && data[data.len() - 1].is_finite()
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop, clippy::manual_is_multiple_of)]
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod config;
 pub mod deeponet;
 pub mod ensemble;
@@ -29,6 +30,7 @@ pub mod rollout;
 pub mod train;
 
 pub use baselines::{persistence_rollout, SpectralLinearModel};
+pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use config::FnoConfig;
 pub use deeponet::{DeepONet, DeepONetConfig};
 pub use ensemble::{ensemble_rollout, EnsembleForecast};
@@ -36,4 +38,6 @@ pub use hybrid::{HybridConfig, HybridScheme, Scheme, TrajectoryLog};
 pub use model::{Fno, ForecastModel};
 pub use physics::{divergence_penalty, paired_windows};
 pub use rollout::{frame_errors, predict_block_3d, rollout, rollout_paired};
-pub use train::{evaluate, LossKind, TrainConfig, TrainReport, Trainer};
+pub use train::{
+    evaluate, LossKind, RecoveryCause, RecoveryEvent, TrainConfig, TrainReport, Trainer,
+};

@@ -1,5 +1,15 @@
 //! The Sec. VI training loop: relative-L2 loss, Adam, StepLR, mini-batches.
+//!
+//! Fault tolerance: the loop snapshots its full state at every epoch
+//! boundary, optionally persists it as an `FTC1` checkpoint (see
+//! [`crate::checkpoint`]), and guards every optimizer step with a health
+//! monitor. A non-finite batch loss or gradient rolls the model and
+//! optimizer back to the epoch-start snapshot, halves the learning rate,
+//! and retries the epoch with the poisoned batch excluded; each such
+//! event is recorded in [`TrainReport::recoveries`].
 
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 use ft_data::Pair;
@@ -9,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::{save_periodic, Checkpoint, CheckpointConfig};
 use crate::config::FnoKind;
 use crate::model::ForecastModel;
 
@@ -54,6 +65,9 @@ pub struct TrainConfig {
     /// prediction's first half of channels is read as u_x frames and the
     /// second half as u_y frames.
     pub divergence_weight: f64,
+    /// How many health-monitor rollbacks (non-finite loss or gradients)
+    /// to tolerate before aborting training with the last good weights.
+    pub max_recoveries: usize,
 }
 
 impl Default for TrainConfig {
@@ -70,8 +84,31 @@ impl Default for TrainConfig {
             eval_every: 0,
             early_stop_patience: 0,
             divergence_weight: 0.0,
+            max_recoveries: 3,
         }
     }
+}
+
+/// Why the health monitor rolled a training run back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryCause {
+    /// The batch loss came back NaN or infinite.
+    NonFiniteLoss = 0,
+    /// Backpropagation produced a non-finite gradient norm.
+    NonFiniteGrad = 1,
+}
+
+/// One automatic recovery performed by the training health monitor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch in which the fault was detected.
+    pub epoch: usize,
+    /// Batch ordinal (within the epoch's shuffled order) that faulted.
+    pub batch: usize,
+    /// What tripped the monitor.
+    pub cause: RecoveryCause,
+    /// Learning rate in effect after the recovery halving.
+    pub lr: f64,
 }
 
 /// What a training run produced.
@@ -88,18 +125,41 @@ pub struct TrainReport {
     /// Epoch whose weights the returned model carries (differs from the
     /// last epoch when early stopping restored an earlier snapshot).
     pub best_epoch: usize,
+    /// Every automatic rollback the health monitor performed. Empty for a
+    /// healthy run; when `TrainConfig::max_recoveries` was exhausted the
+    /// last entry is the fault that aborted training.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 /// Owns a model and drives its optimization.
 pub struct Trainer<M: ForecastModel = crate::model::Fno> {
     model: M,
     cfg: TrainConfig,
+    ckpt: Option<CheckpointConfig>,
+    resume: Option<Checkpoint>,
 }
 
 impl<M: ForecastModel> Trainer<M> {
     /// Wraps a freshly initialized model.
     pub fn new(model: M, cfg: TrainConfig) -> Self {
-        Trainer { model, cfg }
+        Trainer { model, cfg, ckpt: None, resume: None }
+    }
+
+    /// Enables periodic full-state checkpointing during [`Trainer::train`].
+    pub fn with_checkpointing(mut self, ckpt: CheckpointConfig) -> Self {
+        self.ckpt = Some(ckpt);
+        self
+    }
+
+    /// Loads an `FTC1` checkpoint to continue from. The next
+    /// [`Trainer::train`] call restores weights, optimizer moments,
+    /// scheduler epoch, RNG state, and histories, then resumes at the
+    /// checkpointed epoch — producing bit-identical results to a run that
+    /// was never interrupted. Corrupt or truncated files are rejected here
+    /// with `InvalidData`.
+    pub fn resume_from(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
+        self.resume = Some(Checkpoint::load(path)?);
+        Ok(self)
     }
 
     /// Read access to the model.
@@ -121,62 +181,169 @@ impl<M: ForecastModel> Trainer<M> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let kind = self.model.layout();
 
-        let mut order: Vec<usize> = (0..train_pairs.len()).collect();
         let mut train_loss = Vec::with_capacity(self.cfg.epochs);
         let mut eval_history = Vec::new();
         let mut best: Option<(usize, f64, Vec<ft_nn::ParamValue>)> = None;
         let mut stale = 0usize;
         let mut last_epoch = 0usize;
+        let mut lr_scale = 1.0f64;
+        let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+        let mut start_epoch = 0usize;
 
-        'training: for epoch in 0..self.cfg.epochs {
+        if let Some(ck) = self.resume.take() {
+            let expected = ft_nn::snapshot_params(&mut self.model).len();
+            assert_eq!(
+                ck.params.len(),
+                expected,
+                "resume checkpoint does not match the model architecture"
+            );
+            ft_nn::restore_params(&mut self.model, &ck.params);
+            opt.import_state(ck.adam);
+            sched.set_epoch(ck.sched_epoch);
+            lr_scale = ck.lr_scale;
+            opt.lr = sched.lr() * lr_scale;
+            rng = StdRng::from_state(ck.rng_state);
+            train_loss = ck.train_loss;
+            eval_history = ck.eval_history.iter().map(|&(e, v)| (e as usize, v)).collect();
+            best = ck.best.map(|(e, v, snap)| (e as usize, v, snap));
+            stale = ck.stale as usize;
+            recoveries = ck.recoveries;
+            start_epoch = ck.epochs_done as usize;
+            last_epoch = start_epoch.saturating_sub(1);
+        }
+
+        'training: for epoch in start_epoch..self.cfg.epochs {
             last_epoch = epoch;
+            // Shuffle a fresh identity permutation so the epoch's order is a
+            // pure function of the RNG state — a checkpointed `rng_state`
+            // then reproduces it exactly on resume.
+            let mut order: Vec<usize> = (0..train_pairs.len()).collect();
             order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
-            let mut batches = 0usize;
-            for chunk in order.chunks(self.cfg.batch_size) {
-                let (x, y) = batch_of(train_pairs, chunk, kind);
-                let pred = self.model.forward(&x);
-                let (mut loss, mut grad) = match self.cfg.loss {
-                    LossKind::RelativeL2 => RelativeL2::value_and_grad(&pred, &y),
-                    LossKind::Mse => Mse::value_and_grad(&pred, &y),
+            // Epoch-start snapshot the health monitor rolls back to.
+            let guard_params = ft_nn::snapshot_params(&mut self.model);
+            let guard_opt = opt.export_state();
+            let mut skip: Vec<usize> = Vec::new();
+            let epoch_mean = loop {
+                let mut epoch_loss = 0.0;
+                let mut batches = 0usize;
+                let mut fault: Option<(usize, RecoveryCause)> = None;
+                for (bi, chunk) in order.chunks(self.cfg.batch_size).enumerate() {
+                    if skip.contains(&bi) {
+                        continue;
+                    }
+                    let (x, y) = batch_of(train_pairs, chunk, kind);
+                    let pred = self.model.forward(&x);
+                    let (mut loss, mut grad) = match self.cfg.loss {
+                        LossKind::RelativeL2 => RelativeL2::value_and_grad(&pred, &y),
+                        LossKind::Mse => Mse::value_and_grad(&pred, &y),
+                    };
+                    if self.cfg.divergence_weight > 0.0 {
+                        // Normalize by the target's squared-vorticity scale so the
+                        // penalty is dimensionless and comparable to the data loss
+                        // regardless of field amplitude.
+                        let (pv, pg) = crate::physics::divergence_penalty(&pred);
+                        let scale = crate::physics::mean_sq_vorticity(&y).max(1e-300);
+                        let w = self.cfg.divergence_weight / scale;
+                        loss += w * pv;
+                        grad.add_scaled(&pg, w);
+                    }
+                    if !loss.is_finite() {
+                        fault = Some((bi, RecoveryCause::NonFiniteLoss));
+                        break;
+                    }
+                    self.model.backward(&grad);
+                    if !ft_nn::global_grad_norm(&mut self.model).is_finite() {
+                        fault = Some((bi, RecoveryCause::NonFiniteGrad));
+                        break;
+                    }
+                    if let Some(cap) = self.cfg.grad_clip {
+                        ft_nn::clip_grad_norm(&mut self.model, cap);
+                    }
+                    opt.step(&mut self.model);
+                    self.model.zero_grad();
+                    epoch_loss += loss;
+                    batches += 1;
+                }
+                let Some((batch, cause)) = fault else {
+                    break epoch_loss / batches.max(1) as f64;
                 };
-                if self.cfg.divergence_weight > 0.0 {
-                    // Normalize by the target's squared-vorticity scale so the
-                    // penalty is dimensionless and comparable to the data loss
-                    // regardless of field amplitude.
-                    let (pv, pg) = crate::physics::divergence_penalty(&pred);
-                    let scale = crate::physics::mean_sq_vorticity(&y).max(1e-300);
-                    let w = self.cfg.divergence_weight / scale;
-                    loss += w * pv;
-                    grad.add_scaled(&pg, w);
-                }
-                self.model.backward(&grad);
-                if let Some(cap) = self.cfg.grad_clip {
-                    ft_nn::clip_grad_norm(&mut self.model, cap);
-                }
-                opt.step(&mut self.model);
+                // Roll back to the last good state, halve the learning
+                // rate, and retry the epoch without the poisoned batch.
+                ft_nn::restore_params(&mut self.model, &guard_params);
+                opt.import_state(guard_opt.clone());
                 self.model.zero_grad();
-                epoch_loss += loss;
-                batches += 1;
-            }
+                lr_scale *= 0.5;
+                opt.lr = sched.lr() * lr_scale;
+                recoveries.push(RecoveryEvent { epoch, batch, cause, lr: opt.lr });
+                if recoveries.len() > self.cfg.max_recoveries {
+                    // Retries exhausted: stop with the last good weights.
+                    break 'training;
+                }
+                skip.push(batch);
+            };
             sched.step(&mut opt);
-            train_loss.push(epoch_loss / batches.max(1) as f64);
+            opt.lr *= lr_scale;
+            train_loss.push(epoch_mean);
 
-            // Validation tracking / early stopping.
-            if self.cfg.eval_every > 0 && (epoch + 1) % self.cfg.eval_every == 0 {
+            // Validation tracking / early stopping. Skipped entirely when
+            // there is no held-out data; a non-finite error is recorded in
+            // the history but can neither become the best snapshot nor
+            // advance the early-stopping counter.
+            if self.cfg.eval_every > 0
+                && !test_pairs.is_empty()
+                && (epoch + 1) % self.cfg.eval_every == 0
+            {
                 let err = evaluate(&self.model, test_pairs);
                 eval_history.push((epoch, err));
-                let improved = best.as_ref().map(|(_, b, _)| err < *b).unwrap_or(true);
+                let improved =
+                    err.is_finite() && best.as_ref().map(|(_, b, _)| err < *b).unwrap_or(true);
                 if improved {
                     best = Some((epoch, err, ft_nn::snapshot_params(&mut self.model)));
                     stale = 0;
-                } else {
+                } else if err.is_finite() {
                     stale += 1;
                     if self.cfg.early_stop_patience > 0 && stale >= self.cfg.early_stop_patience {
                         break 'training;
                     }
                 }
             }
+
+            if let Some(ckc) = self.ckpt.clone() {
+                if ckc.every > 0 && (epoch + 1) % ckc.every == 0 {
+                    let ck = self.make_checkpoint(
+                        epoch as u64 + 1,
+                        &rng,
+                        &opt,
+                        &sched,
+                        lr_scale,
+                        stale,
+                        &train_loss,
+                        &eval_history,
+                        &best,
+                        &recoveries,
+                    );
+                    save_periodic(&ck, &ckc).expect("failed to write training checkpoint");
+                }
+            }
+        }
+
+        // Final checkpoint so `latest.ftc` always reflects the run's end
+        // state (written before the best-weights restore below, which is
+        // re-derived on resume from the embedded best snapshot).
+        if let Some(ckc) = self.ckpt.clone() {
+            let ck = self.make_checkpoint(
+                train_loss.len() as u64,
+                &rng,
+                &opt,
+                &sched,
+                lr_scale,
+                stale,
+                &train_loss,
+                &eval_history,
+                &best,
+                &recoveries,
+            );
+            save_periodic(&ck, &ckc).expect("failed to write training checkpoint");
         }
 
         // Restore the best-seen weights when validation tracking is on.
@@ -193,6 +360,38 @@ impl<M: ForecastModel> Trainer<M> {
             wall_seconds: start.elapsed().as_secs_f64(),
             eval_history,
             best_epoch,
+            recoveries,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_checkpoint(
+        &mut self,
+        epochs_done: u64,
+        rng: &StdRng,
+        opt: &Adam,
+        sched: &StepLr,
+        lr_scale: f64,
+        stale: usize,
+        train_loss: &[f64],
+        eval_history: &[(usize, f64)],
+        best: &Option<(usize, f64, Vec<ft_nn::ParamValue>)>,
+        recoveries: &[RecoveryEvent],
+    ) -> Checkpoint {
+        Checkpoint {
+            epochs_done,
+            rng_state: rng.state(),
+            lr_scale,
+            stale: stale as u64,
+            sched_epoch: sched.epoch(),
+            adam: opt.export_state(),
+            train_loss: train_loss.to_vec(),
+            eval_history: eval_history.iter().map(|&(e, v)| (e as u64, v)).collect(),
+            recoveries: recoveries.to_vec(),
+            best: best
+                .as_ref()
+                .map(|(e, v, snap)| (*e as u64, *v, snap.clone())),
+            params: ft_nn::snapshot_params(&mut self.model),
         }
     }
 }

@@ -79,6 +79,28 @@ impl DatasetConfig {
     }
 }
 
+/// How many solver steps pass between finiteness probes during guarded
+/// generation. Divergence spreads globally within a few steps, so a sparse
+/// cadence catches a blow-up long before a snapshot is recorded.
+const CHECK_EVERY: usize = 16;
+
+/// Failure of a guarded generation run: one sample's solver blew up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenerateError {
+    /// Index of the sample whose solver diverged.
+    pub sample: usize,
+    /// The underlying solver diagnostic.
+    pub detail: String,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset generation failed at sample {}: {}", self.sample, self.detail)
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 /// A generated ensemble of decaying-turbulence trajectories.
 ///
 /// `velocity` has shape `[S, T, 2, H, W]` (sample, snapshot, component,
@@ -91,15 +113,28 @@ pub struct TurbulenceDataset {
 }
 
 impl TurbulenceDataset {
-    /// Generates the full ensemble, one rayon task per sample.
+    /// Generates the full ensemble, one rayon task per sample, panicking
+    /// with the sample index if a solver blows up (see
+    /// [`TurbulenceDataset::try_generate`] for the recoverable form).
     pub fn generate(config: DatasetConfig) -> Self {
+        Self::try_generate(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generates the full ensemble, stopping with [`GenerateError`] if any
+    /// sample's solver goes non-finite instead of baking NaN frames into
+    /// the dataset.
+    pub fn try_generate(config: DatasetConfig) -> Result<Self, GenerateError> {
         assert!(config.samples > 0 && config.snapshots > 0, "empty dataset requested");
-        let trajs: Vec<Tensor> = (0..config.samples)
+        let trajs: Vec<Result<Tensor, GenerateError>> = (0..config.samples)
             .into_par_iter()
-            .map(|s| generate_trajectory(&config, config.seed + s as u64))
+            .map(|s| {
+                generate_trajectory(&config, config.seed + s as u64)
+                    .map_err(|detail| GenerateError { sample: s, detail })
+            })
             .collect();
+        let trajs = trajs.into_iter().collect::<Result<Vec<Tensor>, _>>()?;
         let velocity = Tensor::stack(&trajs);
-        TurbulenceDataset { config, velocity }
+        Ok(TurbulenceDataset { config, velocity })
     }
 
     /// Number of samples.
@@ -153,8 +188,9 @@ impl TurbulenceDataset {
     }
 }
 
-/// Generates one trajectory, shape `[T, 2, H, W]`.
-fn generate_trajectory(config: &DatasetConfig, seed: u64) -> Tensor {
+/// Generates one trajectory, shape `[T, 2, H, W]`, with the solver's
+/// finiteness guard active throughout burn-in and sampling.
+fn generate_trajectory(config: &DatasetConfig, seed: u64) -> Result<Tensor, String> {
     let n = config.n_grid;
     match config.solver {
         SolverKind::EntropicLbm | SolverKind::BgkLbm => {
@@ -166,18 +202,18 @@ fn generate_trajectory(config: &DatasetConfig, seed: u64) -> Tensor {
 
             // Burn-in, then reset time and sample.
             let burn_steps = (config.burn_in_tc * cfg.t_c()).round() as usize;
-            lbm.run(burn_steps);
+            lbm.try_run(burn_steps, CHECK_EVERY).map_err(|e| e.to_string())?;
             let sample_steps = (config.dt_sample_tc * cfg.t_c()).round().max(1.0) as usize;
 
             let mut frames = Vec::with_capacity(config.snapshots);
             for t in 0..config.snapshots {
                 if t > 0 {
-                    lbm.run(sample_steps);
+                    lbm.try_run(sample_steps, CHECK_EVERY).map_err(|e| e.to_string())?;
                 }
                 let (ux, uy) = lbm.velocity();
                 frames.push(Tensor::stack(&[ux, uy]));
             }
-            Tensor::stack(&frames)
+            Ok(Tensor::stack(&frames))
         }
         SolverKind::SpectralNs => {
             let mut ns = SpectralNs::new(n, n as f64, ns_viscosity(config));
@@ -202,7 +238,7 @@ fn run_ns_protocol<S: PdeSolver>(
     config: &DatasetConfig,
     seed: u64,
     cfl_dt: impl Fn(&S) -> f64,
-) -> Tensor {
+) -> Result<Tensor, String> {
     let n = config.n_grid;
     let u0 = 0.05;
     let t_c = n as f64 / u0;
@@ -217,17 +253,18 @@ fn run_ns_protocol<S: PdeSolver>(
     let dt = sample_dt / substeps as f64;
 
     let burn_intervals = (config.burn_in_tc / config.dt_sample_tc).round() as usize;
-    ns.advance(dt, substeps * burn_intervals);
+    ns.try_advance(dt, substeps * burn_intervals, CHECK_EVERY)
+        .map_err(|e| e.to_string())?;
 
     let mut frames = Vec::with_capacity(config.snapshots);
     for t in 0..config.snapshots {
         if t > 0 {
-            ns.advance(dt, substeps);
+            ns.try_advance(dt, substeps, CHECK_EVERY).map_err(|e| e.to_string())?;
         }
         let (ux, uy) = ns.velocity();
         frames.push(Tensor::stack(&[ux, uy]));
     }
-    Tensor::stack(&frames)
+    Ok(Tensor::stack(&frames))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use ft_tensor::Tensor;
 
@@ -28,74 +28,142 @@ pub fn save_tensor(path: impl AsRef<Path>, t: &Tensor) -> io::Result<()> {
 }
 
 /// Reads a tensor from `path`, validating the header.
+///
+/// Every structural claim of the header is checked against the actual file
+/// size *before* any payload-sized allocation, so a corrupt or truncated
+/// file fails with [`io::ErrorKind::InvalidData`] instead of attempting a
+/// multi-gigabyte `Vec` or panicking on an overflowing size product.
 pub fn load_tensor(path: impl AsRef<Path>) -> io::Result<Tensor> {
-    let mut r = BufReader::new(File::open(path)?);
+    fn invalid(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+    }
+
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FTT1 tensor file"));
+        return Err(invalid("not an FTT1 tensor file"));
     }
     let mut b4 = [0u8; 4];
     r.read_exact(&mut b4)?;
     let rank = u32::from_le_bytes(b4) as usize;
     if rank > 16 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible rank"));
+        return Err(invalid("implausible rank"));
     }
     let mut dims = Vec::with_capacity(rank);
     let mut b8 = [0u8; 8];
     for _ in 0..rank {
         r.read_exact(&mut b8)?;
-        dims.push(u64::from_le_bytes(b8) as usize);
+        let d = u64::from_le_bytes(b8);
+        if d > u64::from(u32::MAX) {
+            return Err(invalid("implausible dimension"));
+        }
+        dims.push(d as usize);
     }
-    let len: usize = dims.iter().product();
-    let mut data = Vec::with_capacity(len);
-    for _ in 0..len {
-        r.read_exact(&mut b8)?;
-        data.push(f64::from_le_bytes(b8));
+    // The element count and byte size must be representable and must match
+    // the file exactly; only then is the claimed allocation trustworthy.
+    let len: usize = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| invalid("dimension product overflows"))?;
+    let payload_bytes = len
+        .checked_mul(8)
+        .map(|b| b as u64)
+        .ok_or_else(|| invalid("payload size overflows"))?;
+    let header_bytes = 8 + 8 * rank as u64;
+    if file_len != header_bytes + payload_bytes {
+        return Err(invalid("file size does not match header"));
     }
-    // Trailing garbage means a corrupt or truncated-then-padded file.
-    let mut extra = [0u8; 1];
-    if r.read(&mut extra)? != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes after payload"));
-    }
+    let mut raw = vec![0u8; payload_bytes as usize];
+    r.read_exact(&mut raw)?;
+    let data: Vec<f64> = raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
     Ok(Tensor::from_vec(&dims, data))
 }
 
 /// A small CSV emitter used by the figure/table harness binaries.
+///
+/// Crash-consistent: rows are written to a hidden temp sibling
+/// (`.name.csv.tmp`) and the file only appears at its final path when the
+/// writer is finished (explicitly via [`CsvWriter::finish`] or implicitly
+/// on drop). An interrupted run therefore never leaves a half-written
+/// `results/*.csv` — the previous complete file, if any, stays in place.
 pub struct CsvWriter {
-    out: BufWriter<File>,
+    out: Option<BufWriter<File>>,
     columns: usize,
+    tmp: PathBuf,
+    dst: PathBuf,
 }
 
 impl CsvWriter {
-    /// Creates the file and writes the header row.
+    /// Creates the temp file and writes the header row.
     pub fn create(path: impl AsRef<Path>, header: &[&str]) -> io::Result<Self> {
-        let mut out = BufWriter::new(File::create(path)?);
+        let dst = path.as_ref().to_path_buf();
+        let name = dst
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+        let tmp = dst.with_file_name(format!(".{}.tmp", name.to_string_lossy()));
+        let mut out = BufWriter::new(File::create(&tmp)?);
         writeln!(out, "{}", header.join(","))?;
-        Ok(CsvWriter { out, columns: header.len() })
+        Ok(CsvWriter { out: Some(out), columns: header.len(), tmp, dst })
+    }
+
+    fn out(&mut self) -> &mut BufWriter<File> {
+        self.out.as_mut().expect("writer already finished")
     }
 
     /// Writes one numeric row (must match the header width).
     pub fn row(&mut self, values: &[f64]) -> io::Result<()> {
         assert_eq!(values.len(), self.columns, "row width does not match header");
         let line: Vec<String> = values.iter().map(|v| format!("{v:.10e}")).collect();
-        writeln!(self.out, "{}", line.join(","))
+        let out = self.out();
+        writeln!(out, "{}", line.join(","))
     }
 
     /// Writes a row with a leading string label followed by numeric columns.
     pub fn labeled_row(&mut self, label: &str, values: &[f64]) -> io::Result<()> {
         assert_eq!(values.len() + 1, self.columns, "row width does not match header");
         let nums: Vec<String> = values.iter().map(|v| format!("{v:.10e}")).collect();
+        let out = self.out();
         if nums.is_empty() {
-            writeln!(self.out, "{label}")
+            writeln!(out, "{label}")
         } else {
-            writeln!(self.out, "{label},{}", nums.join(","))
+            writeln!(out, "{label},{}", nums.join(","))
         }
     }
 
-    /// Flushes buffered output.
+    /// Flushes buffered rows to the temp file (the final path still only
+    /// appears once the writer is finished).
     pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        self.out().flush()
+    }
+
+    /// Flushes, syncs, and atomically renames the temp file into place,
+    /// surfacing any I/O error. Dropping the writer does the same but can
+    /// only ignore failures.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.commit()
+    }
+
+    fn commit(&mut self) -> io::Result<()> {
+        let Some(mut out) = self.out.take() else { return Ok(()) };
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        drop(out);
+        std::fs::rename(&self.tmp, &self.dst)
+            .inspect_err(|_| {
+                std::fs::remove_file(&self.tmp).ok();
+            })
+    }
+}
+
+impl Drop for CsvWriter {
+    fn drop(&mut self) {
+        self.commit().ok();
     }
 }
 
@@ -148,6 +216,70 @@ mod tests {
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() - 9]).unwrap();
         assert!(load_tensor(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_overflowing_dims() {
+        // rank 2, dims [u32::MAX, u32::MAX]: the product overflows the
+        // element count on 32-bit and the byte count times 8 in general —
+        // must be InvalidData, not a panic or an absurd allocation.
+        let p = tmpfile("overflow.ftt");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FTT1");
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = load_tensor(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_size_mismatch_before_allocating() {
+        // Header claims 2^30 elements but the file holds none: the loader
+        // must reject from the size check alone.
+        let p = tmpfile("hugeclaim.ftt");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"FTT1");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 30).to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = load_tensor(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_is_atomic() {
+        let p = tmpfile("atomic.csv");
+        std::fs::remove_file(&p).ok();
+        let mut w = CsvWriter::create(&p, &["a"]).unwrap();
+        w.row(&[1.0]).unwrap();
+        w.flush().unwrap();
+        // Nothing at the final path until the writer is finished.
+        assert!(!p.exists(), "final path must not exist mid-write");
+        w.finish().unwrap();
+        assert!(p.exists());
+        let tmp = p.with_file_name(format!(
+            ".{}.tmp",
+            p.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a\n1.0000000000e0\n");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_commits_on_drop() {
+        let p = tmpfile("drop.csv");
+        std::fs::remove_file(&p).ok();
+        {
+            let mut w = CsvWriter::create(&p, &["a", "b"]).unwrap();
+            w.row(&[1.0, 2.0]).unwrap();
+        }
+        assert!(p.exists(), "drop must commit the file");
         std::fs::remove_file(&p).ok();
     }
 

@@ -28,7 +28,7 @@ pub mod io;
 pub mod normalize;
 pub mod window;
 
-pub use generate::{DatasetConfig, SolverKind, TurbulenceDataset};
+pub use generate::{DatasetConfig, GenerateError, SolverKind, TurbulenceDataset};
 pub use io::{load_tensor, save_tensor, CsvWriter};
 pub use normalize::{NormParams, Normalizer};
 pub use window::{split_components, windows, Pair, WindowSpec};

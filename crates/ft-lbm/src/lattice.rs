@@ -41,7 +41,14 @@ impl D2Q9 {
 /// equilibrium. Valid for `|u_a| < 1`.
 #[inline]
 pub fn equilibrium(rho: f64, ux: f64, uy: f64) -> [f64; 9] {
-    debug_assert!(ux.abs() < 1.0 && uy.abs() < 1.0, "velocity outside lattice range");
+    // Finite out-of-range velocities are programming errors worth crashing
+    // on in debug builds; non-finite values are a blow-up in progress and
+    // must flow through (as NaN populations) to the `Lbm::try_run` guard,
+    // which reports them as a structured `SolverError` instead.
+    debug_assert!(
+        !(ux.is_finite() && uy.is_finite()) || (ux.abs() < 1.0 && uy.abs() < 1.0),
+        "velocity outside lattice range"
+    );
     let sx = (1.0 + 3.0 * ux * ux).sqrt();
     let sy = (1.0 + 3.0 * uy * uy).sqrt();
     let px = (2.0 * ux + sx) / (1.0 - ux);

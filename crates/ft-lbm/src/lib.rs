@@ -37,4 +37,4 @@ pub use force::BodyForce;
 pub use ic::IcSpec;
 pub use lattice::{equilibrium, D2Q9};
 pub use mrt::MrtRates;
-pub use solver::{Collision, Lbm, LbmConfig};
+pub use solver::{Collision, Lbm, LbmConfig, SolverError};

@@ -8,6 +8,31 @@ use crate::force::{guo_source, BodyForce};
 use crate::lattice::{equilibrium, h_function, moments, D2Q9};
 use crate::mrt::{self, MrtRates};
 
+/// Structured failure of an LBM integration. Raised by [`Lbm::try_run`]
+/// instead of letting NaN populations propagate into sampled fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// A non-finite distribution value appeared during stepping.
+    BlowUp {
+        /// Collide-stream steps completed when the blow-up was detected.
+        step: u64,
+        /// Which state field went non-finite.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::BlowUp { step, field } => {
+                write!(f, "LBM blow-up: non-finite {field} after {step} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Collision operator selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Collision {
@@ -183,6 +208,37 @@ impl Lbm {
         for _ in 0..k {
             self.step();
         }
+    }
+
+    /// Cheap finiteness probe of the distribution functions: a strided
+    /// sample of ~64 entries, not a full scan. Streaming spreads a
+    /// non-finite population across the lattice within a few steps, so a
+    /// sparse probe catches a blow-up almost immediately.
+    pub fn check_finite(&self) -> Result<(), &'static str> {
+        let stride = (self.f.len() / 64).max(1);
+        let ok = self.f.iter().step_by(stride).all(|x| x.is_finite())
+            && self.f.last().is_none_or(|x| x.is_finite());
+        if ok {
+            Ok(())
+        } else {
+            Err("distribution")
+        }
+    }
+
+    /// Advances by `k` steps, probing the state every `check_every` steps
+    /// and stopping with [`SolverError::BlowUp`] instead of letting a
+    /// non-finite field propagate into sampled datasets.
+    pub fn try_run(&mut self, k: usize, check_every: usize) -> Result<(), SolverError> {
+        let chunk = check_every.max(1);
+        let mut done = 0usize;
+        while done < k {
+            let m = chunk.min(k - done);
+            self.run(m);
+            done += m;
+            self.check_finite()
+                .map_err(|field| SolverError::BlowUp { step: self.steps, field })?;
+        }
+        Ok(())
     }
 
     /// Advances until `t/t_c` first reaches or exceeds `t_conv`.

@@ -4,6 +4,18 @@
 use crate::param::ParamMut;
 use crate::Layer;
 
+/// Snapshot of an [`Adam`] optimizer's mutable state, used by training
+/// checkpoints to resume bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// First-moment estimate per real degree of freedom, per parameter.
+    pub m: Vec<Vec<f64>>,
+    /// Second-moment estimate per real degree of freedom, per parameter.
+    pub v: Vec<Vec<f64>>,
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+}
+
 /// Adam state for one model. The optimizer identifies parameters by their
 /// visit order, which is stable for the static architectures in this
 /// workspace.
@@ -35,6 +47,22 @@ impl Adam {
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Copies out the full optimizer state (moment vectors + step count)
+    /// for checkpointing. Parameter identity is visit order, so the state
+    /// is only valid for a model with the same architecture.
+    pub fn export_state(&self) -> AdamState {
+        AdamState { m: self.m.clone(), v: self.v.clone(), t: self.t }
+    }
+
+    /// Restores state captured by [`Adam::export_state`]. The next
+    /// [`Adam::step`] continues the moment estimates exactly where the
+    /// checkpointed run left off.
+    pub fn import_state(&mut self, state: AdamState) {
+        self.m = state.m;
+        self.v = state.v;
+        self.t = state.t;
     }
 
     /// Applies one update using the gradients currently accumulated in the

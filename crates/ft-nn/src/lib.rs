@@ -41,7 +41,7 @@ pub mod serialize;
 pub mod spectral;
 
 pub use activation::Gelu;
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use clip::{clip_grad_norm, global_grad_norm};
 pub use linear::Linear;
 pub use loss::RelativeL2;
@@ -49,7 +49,10 @@ pub use param::{CParam, Param, ParamMut};
 pub use loss::Mse;
 pub use norm::{InstanceNorm, Sequential};
 pub use scheduler::StepLr;
-pub use serialize::{load_params, restore_params, save_params, snapshot_params, ParamValue};
+pub use serialize::{
+    load_param_values_from, load_params, restore_params, save_param_values_to, save_params,
+    snapshot_params, ParamValue,
+};
 pub use spectral::SpectralConv;
 
 use ft_tensor::Tensor;

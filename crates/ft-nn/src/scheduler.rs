@@ -35,6 +35,12 @@ impl StepLr {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// Jumps to an absolute epoch (checkpoint resume). Does not touch any
+    /// optimizer; callers re-sync via [`StepLr::lr`].
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
 }
 
 #[cfg(test)]

@@ -178,8 +178,110 @@ fn read_param(r: &mut impl Read, p: ParamMut<'_>) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes a parameter-value snapshot as a self-delimiting FTW1 blob (the
+/// same encoding as [`save_params_to`], minus the need for a live model).
+/// Training checkpoints embed these for both the current weights and the
+/// best-seen snapshot.
+pub fn save_param_values_to(values: &[ParamValue], w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(values.len() as u32).to_le_bytes())?;
+    for v in values {
+        match v {
+            ParamValue::Real(t) => {
+                w.write_all(&[0u8])?;
+                w.write_all(&(t.shape().rank() as u32).to_le_bytes())?;
+                for &d in t.dims() {
+                    w.write_all(&(d as u64).to_le_bytes())?;
+                }
+                for &x in t.data() {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ParamValue::Complex(t) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&(t.shape().rank() as u32).to_le_bytes())?;
+                for &d in t.dims() {
+                    w.write_all(&(d as u64).to_le_bytes())?;
+                }
+                for z in t.data() {
+                    w.write_all(&z.re.to_le_bytes())?;
+                    w.write_all(&z.im.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a blob written by [`save_param_values_to`] without needing a model
+/// to validate against. Every size field is bounds-checked before any
+/// allocation, so corrupt input yields `InvalidData` rather than an OOM or
+/// panic.
+pub fn load_param_values_from(r: &mut impl Read) -> io::Result<Vec<ParamValue>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an FTW1 parameter blob"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let count = u32::from_le_bytes(b4);
+    if count > 1 << 20 {
+        return Err(bad("implausible parameter-tensor count"));
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    let mut b8 = [0u8; 8];
+    for _ in 0..count {
+        let mut kind = [0u8; 1];
+        r.read_exact(&mut kind)?;
+        if kind[0] > 1 {
+            return Err(bad("unknown parameter kind"));
+        }
+        r.read_exact(&mut b4)?;
+        let rank = u32::from_le_bytes(b4) as usize;
+        if rank > 16 {
+            return Err(bad("implausible rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut len = 1usize;
+        for _ in 0..rank {
+            r.read_exact(&mut b8)?;
+            let d = u64::from_le_bytes(b8);
+            if d == 0 || d > 1 << 32 {
+                return Err(bad("implausible dimension"));
+            }
+            dims.push(d as usize);
+            len = len
+                .checked_mul(d as usize)
+                .filter(|&l| l <= 1 << 32)
+                .ok_or_else(|| bad("tensor size overflows"))?;
+        }
+        if kind[0] == 0 {
+            let mut data = Vec::new();
+            for _ in 0..len {
+                r.read_exact(&mut b8)?;
+                data.push(f64::from_le_bytes(b8));
+            }
+            out.push(ParamValue::Real(ft_tensor::Tensor::from_vec(&dims, data)));
+        } else {
+            let mut data = Vec::new();
+            for _ in 0..len {
+                r.read_exact(&mut b8)?;
+                let re = f64::from_le_bytes(b8);
+                r.read_exact(&mut b8)?;
+                let im = f64::from_le_bytes(b8);
+                data.push(ft_tensor::Complex64::new(re, im));
+            }
+            out.push(ParamValue::Complex(ft_tensor::CTensor::from_vec(&dims, data)));
+        }
+    }
+    Ok(out)
+}
+
 /// An in-memory snapshot of every parameter value (not gradients), used by
 /// early stopping to restore the best-seen weights.
+#[derive(Clone)]
 pub enum ParamValue {
     /// Real tensor value.
     Real(ft_tensor::Tensor),
@@ -312,6 +414,34 @@ mod tests {
         std::fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
         assert!(load_params(&mut make(2), &p).is_err());
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn param_value_blob_roundtrip() {
+        let mut a = make(4);
+        let snap = snapshot_params(&mut a);
+        let mut buf = Vec::new();
+        save_param_values_to(&snap, &mut buf).unwrap();
+        let loaded = load_param_values_from(&mut &buf[..]).unwrap();
+        assert_eq!(loaded.len(), snap.len());
+        let mut b = make(5);
+        restore_params(&mut b, &loaded);
+        let x = Tensor::from_fn(&[1, 2, 8, 8], |i| ((i[2] * 3 + i[3]) as f64 * 0.05).cos());
+        assert!(b.forward(&x).allclose(&a.forward(&x), 0.0));
+    }
+
+    #[test]
+    fn param_value_blob_rejects_corruption() {
+        let mut a = make(4);
+        let snap = snapshot_params(&mut a);
+        let mut buf = Vec::new();
+        save_param_values_to(&snap, &mut buf).unwrap();
+        // Implausible rank.
+        let mut bad = buf.clone();
+        bad[9] = 0xFF;
+        assert!(load_param_values_from(&mut &bad[..]).is_err());
+        // Truncation.
+        assert!(load_param_values_from(&mut &buf[..buf.len() - 3]).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct ArakawaNs {
     nu: f64,
     omega: Tensor,
     time: f64,
+    steps: u64,
 }
 
 impl ArakawaNs {
@@ -30,7 +31,13 @@ impl ArakawaNs {
     /// kinematic viscosity `nu`.
     pub fn new(n: usize, l: f64, nu: f64) -> Self {
         assert!(nu >= 0.0, "viscosity must be non-negative");
-        ArakawaNs { grid: SpectralGrid::new(n, l), nu, omega: Tensor::zeros(&[n, n]), time: 0.0 }
+        ArakawaNs {
+            grid: SpectralGrid::new(n, l),
+            nu,
+            omega: Tensor::zeros(&[n, n]),
+            time: 0.0,
+            steps: 0,
+        }
     }
 
     /// The underlying grid.
@@ -48,6 +55,7 @@ impl ArakawaNs {
         assert_eq!(omega.dims(), &[self.grid.n(), self.grid.n()], "vorticity shape");
         self.omega = omega.clone();
         self.time = 0.0;
+        self.steps = 0;
     }
 
     /// Current streamfunction (FFT Poisson solve, zero-mean gauge).
@@ -144,6 +152,7 @@ impl ArakawaNs {
         out.add_scaled(&t2, 2.0 / 3.0);
         self.omega = out;
         self.time += dt;
+        self.steps += 1;
     }
 
     /// Largest stable advective step `C·dx/|u|_max` (C = 0.4 for RK3).
@@ -170,6 +179,7 @@ impl PdeSolver for ArakawaNs {
         let spec = self.grid.vorticity_spectrum(ux, uy);
         self.omega = self.grid.to_physical(&spec);
         self.time = 0.0;
+        self.steps = 0;
     }
 
     fn velocity(&self) -> (Tensor, Tensor) {
@@ -190,6 +200,18 @@ impl PdeSolver for ArakawaNs {
 
     fn resolution(&self) -> usize {
         self.grid.n()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn check_finite(&self) -> Result<(), &'static str> {
+        if crate::sample_finite(self.omega.data(), 64) {
+            Ok(())
+        } else {
+            Err("vorticity")
+        }
     }
 }
 

@@ -36,6 +36,32 @@ pub use spectral::SpectralNs;
 
 use ft_tensor::Tensor;
 
+/// Structured failure of a PDE integration. Solvers raise this instead of
+/// letting NaN/Inf fields propagate into rollouts or hybrid forecasts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// A field went non-finite during time stepping (CFL violation,
+    /// unstable parameters, or poisoned initial data).
+    BlowUp {
+        /// Steps completed when the blow-up was detected.
+        step: u64,
+        /// Which state field went non-finite.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::BlowUp { step, field } => {
+                write!(f, "solver blow-up: non-finite {field} after {step} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Common interface of the PDE solvers, as consumed by the hybrid
 /// FNO-PDE orchestrator.
 pub trait PdeSolver {
@@ -49,4 +75,42 @@ pub trait PdeSolver {
     fn advance(&mut self, dt: f64, steps: usize);
     /// Grid points per side.
     fn resolution(&self) -> usize;
+    /// Time steps taken since the last state reset.
+    fn steps_taken(&self) -> u64;
+    /// Cheap finiteness probe of the evolving state — a strided sample,
+    /// not a full scan. `Err` names the offending field. Divergence
+    /// spreads globally within a step in both spectral and FD schemes, so
+    /// a sparse sample detects a blow-up at most a few steps late.
+    fn check_finite(&self) -> Result<(), &'static str>;
+
+    /// Advances like [`PdeSolver::advance`] but probes the state every
+    /// `check_every` steps, stopping with [`SolverError::BlowUp`] instead
+    /// of returning non-finite fields.
+    fn try_advance(
+        &mut self,
+        dt: f64,
+        steps: usize,
+        check_every: usize,
+    ) -> Result<(), SolverError> {
+        let chunk = check_every.max(1);
+        let mut done = 0usize;
+        while done < steps {
+            let k = chunk.min(steps - done);
+            self.advance(dt, k);
+            done += k;
+            self.check_finite()
+                .map_err(|field| SolverError::BlowUp { step: self.steps_taken(), field })?;
+        }
+        Ok(())
+    }
+}
+
+/// Strided finiteness probe over ~`samples` evenly spaced entries
+/// (plus the final one). Shared by the solver `check_finite` impls.
+pub(crate) fn sample_finite(data: &[f64], samples: usize) -> bool {
+    if data.is_empty() {
+        return true;
+    }
+    let stride = (data.len() / samples.max(1)).max(1);
+    data.iter().step_by(stride).all(|x| x.is_finite()) && data[data.len() - 1].is_finite()
 }

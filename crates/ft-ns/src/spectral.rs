@@ -19,6 +19,7 @@ pub struct SpectralNs {
     nu: f64,
     omega_hat: CTensor,
     time: f64,
+    steps: u64,
     /// Optional stationary vorticity forcing (spectral) and linear drag.
     forcing_hat: Option<CTensor>,
     drag: f64,
@@ -36,6 +37,7 @@ impl SpectralNs {
             nu,
             omega_hat: CTensor::zeros(&[n, n]),
             time: 0.0,
+            steps: 0,
             forcing_hat: None,
             drag: 0.0,
             dealias: true,
@@ -85,6 +87,7 @@ impl SpectralNs {
 
     /// Sets the state from a physical vorticity field.
     pub fn set_vorticity(&mut self, omega: &Tensor) {
+        self.steps = 0;
         self.omega_hat = self.grid.to_spectral(omega);
         self.time = 0.0;
     }
@@ -180,6 +183,7 @@ impl SpectralNs {
         }
         self.omega_hat = out;
         self.time += dt;
+        self.steps += 1;
     }
 }
 
@@ -187,6 +191,7 @@ impl PdeSolver for SpectralNs {
     fn set_velocity(&mut self, ux: &Tensor, uy: &Tensor) {
         self.omega_hat = self.grid.vorticity_spectrum(ux, uy);
         self.time = 0.0;
+        self.steps = 0;
     }
 
     fn velocity(&self) -> (Tensor, Tensor) {
@@ -206,6 +211,25 @@ impl PdeSolver for SpectralNs {
 
     fn resolution(&self) -> usize {
         self.grid.n()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn check_finite(&self) -> Result<(), &'static str> {
+        let data = self.omega_hat.data();
+        let stride = (data.len() / 64).max(1);
+        let ok = data
+            .iter()
+            .step_by(stride)
+            .chain(data.last())
+            .all(|z| z.re.is_finite() && z.im.is_finite());
+        if ok {
+            Ok(())
+        } else {
+            Err("vorticity spectrum")
+        }
     }
 }
 

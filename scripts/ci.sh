@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from anywhere inside the repo.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --no-lint  # skip clippy (e.g. when only docs changed)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-lint) LINT=0 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+if [ "$LINT" = 1 ]; then
+    echo "==> cargo clippy (workspace, warnings are errors)"
+    cargo clippy --workspace --offline -- -D warnings
+fi
+
+echo "CI OK"

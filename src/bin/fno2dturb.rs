@@ -6,6 +6,8 @@
 //! fno2dturb train    --data data.ftt --model model.fnc [--width 8] [--layers 4]
 //!                    [--modes 8] [--out-channels 5] [--epochs 20] [--lr 5e-3]
 //!                    [--batch 8] [--div-weight 0] [--train-frac 0.8]
+//!                    [--checkpoint-dir checkpoints] [--checkpoint-every 1]
+//!                    [--resume checkpoints/latest.ftc]
 //! fno2dturb rollout  --data data.ftt --model model.fnc [--sample 0] [--frames 10]
 //!                    [--out pred.ftt]
 //! fno2dturb hybrid   --data data.ftt --model model.fnc [--frames 60]
@@ -27,7 +29,7 @@ use fno2d_turbulence::data::{
 };
 use fno2d_turbulence::fno::rollout::{frame_errors, rollout};
 use fno2d_turbulence::fno::{
-    Fno, FnoConfig, HybridConfig, HybridScheme, Scheme, TrainConfig, Trainer,
+    CheckpointConfig, Fno, FnoConfig, HybridConfig, HybridScheme, Scheme, TrainConfig, Trainer,
 };
 use fno2d_turbulence::lbm::IcSpec;
 use fno2d_turbulence::ns::SpectralNs;
@@ -73,6 +75,8 @@ const USAGE: &str = "usage:
   fno2dturb train    --data data.ftt --model model.fnc [--width W] [--layers L]
                      [--modes M] [--out-channels K] [--epochs E] [--lr LR]
                      [--batch B] [--div-weight WD] [--train-frac F]
+                     [--checkpoint-dir DIR] [--checkpoint-every N]
+                     [--resume DIR/latest.ftc]
   fno2dturb rollout  --data data.ftt --model model.fnc [--sample I] [--frames N]
                      [--out pred.ftt]
   fno2dturb hybrid   --data data.ftt --model model.fnc [--frames N]
@@ -192,6 +196,19 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
         ..Default::default()
     };
     let mut trainer = Trainer::new(model, tcfg);
+    if let Some(dir) = opts.get("checkpoint-dir") {
+        let every: usize = get(opts, "checkpoint-every", 1)?;
+        let mut ckpt = CheckpointConfig::new(dir, every);
+        ckpt.keep_last = 5;
+        trainer = trainer.with_checkpointing(ckpt);
+        eprintln!("checkpointing to {dir}/ every {every} epoch(s)");
+    }
+    if let Some(path) = opts.get("resume") {
+        trainer = trainer
+            .resume_from(path)
+            .map_err(|e| format!("--resume {path}: {e}"))?;
+        eprintln!("resuming from {path}");
+    }
     let report = trainer.train(&train, &test);
     eprintln!(
         "loss {:.4e} → {:.4e}, test error {:.4e}, {:.1}s",
@@ -200,6 +217,12 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
         report.test_error,
         report.wall_seconds
     );
+    for r in &report.recoveries {
+        eprintln!(
+            "recovered from {:?} at epoch {} batch {} (lr now {:.3e})",
+            r.cause, r.epoch, r.batch, r.lr
+        );
+    }
     let mut model = trainer.into_model();
     model.save(model_path).map_err(|e| e.to_string())?;
     eprintln!("wrote {model_path}");
