@@ -10,6 +10,7 @@ use ft_lbm::IcSpec;
 use ft_ns::{PdeSolver, SpectralNs};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_dealiasing");
     let scale = Scale::from_env();
     let n = if scale == Scale::Fast { 32 } else { 64 };
     // Marginally resolved: IC band near the dealias cutoff, tiny viscosity.

@@ -14,6 +14,7 @@ use fno_core::train::{batch_of, evaluate};
 use fno_core::{divergence_penalty, Fno, FnoConfig, TrainConfig, Trainer};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_divloss");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let ds = TurbulenceDataset::generate(knobs.dataset_config());

@@ -12,6 +12,7 @@ use ft_bench::{csv, emit_labeled, Scale};
 use ft_lbm::{vorticity, Collision, IcSpec, Lbm, LbmConfig};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_entropic");
     let scale = Scale::from_env();
     let n = if scale == Scale::Fast { 32 } else { 64 };
     // Marginal configuration: high Re on a coarse grid, aggressive Mach.

@@ -10,6 +10,7 @@ use fno_core::{HybridConfig, HybridScheme, Scheme, TrainConfig};
 use ft_ns::SpectralNs;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_hybrid_window");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, ds) = dataset_pairs(&knobs, 5);

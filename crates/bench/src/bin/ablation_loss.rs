@@ -10,6 +10,7 @@ use ft_bench::{csv, dataset_pairs, emit_labeled, train_2d, Knobs, Scale};
 use fno_core::{LossKind, TrainConfig};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_loss");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, _) = dataset_pairs(&knobs, 5);

@@ -12,6 +12,7 @@ use fno_core::rollout::{frame_errors, rollout};
 use fno_core::{Fno, FnoConfig, TrainConfig, Trainer};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_norm");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, ds) = dataset_pairs(&knobs, 5);

@@ -13,6 +13,7 @@ use fno_core::train::evaluate;
 use fno_core::TrainConfig;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ablation_resolution");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let fine = {

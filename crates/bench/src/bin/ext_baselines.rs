@@ -15,6 +15,7 @@ use fno_core::TrainConfig;
 use ft_tensor::Tensor;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ext_baselines");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, ds) = dataset_pairs(&knobs, 5);

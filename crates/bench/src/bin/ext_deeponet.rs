@@ -10,6 +10,7 @@ use fno_core::train::evaluate;
 use fno_core::{DeepONet, DeepONetConfig, Fno, FnoConfig, TrainConfig, Trainer};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ext_deeponet");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, _) = dataset_pairs(&knobs, 5);

@@ -12,6 +12,7 @@ use fno_core::train::evaluate;
 use fno_core::TrainConfig;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ext_reynolds_transfer");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let (train, test, _) = dataset_pairs(&knobs, 5);

@@ -2,7 +2,7 @@
 //!
 //! The paper's introduction attributes the long-rollout instability of ML
 //! emulators to *spectral bias* — the smaller scales are not learned and
-//! only large-scale dynamics are captured (Refs. [3], [4]). This harness
+//! only large-scale dynamics are captured (Refs. \[3\], \[4\]). This harness
 //! makes that mechanism measurable in this reproduction: it compares the
 //! isotropic kinetic-energy spectrum E(k) of the pure-FNO, hybrid, and
 //! reference PDE trajectories at the end of a long rollout.
@@ -11,6 +11,7 @@ use ft_analysis::energy_spectrum;
 use ft_bench::{csv, emit_labeled, run_longterm_experiment, Knobs, Scale};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("ext_spectral_bias");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let frames = if scale == Scale::Fast { 20 } else { 100 };

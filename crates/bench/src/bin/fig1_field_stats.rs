@@ -10,6 +10,7 @@ use ft_analysis::stats::{normalize_by_initial, FieldStats};
 use ft_bench::{csv, dataset_pairs, emit, Knobs, Scale};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig1_field_stats");
     let knobs = Knobs::new(Scale::from_env());
     let (_, _, ds) = dataset_pairs(&knobs, 5);
     let dt = ds.config.dt_sample_tc;

@@ -8,6 +8,7 @@ use ft_analysis::separation::l2_separation_from_initial;
 use ft_bench::{csv, dataset_pairs, emit, Knobs, Scale};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig2_l2_separation");
     let knobs = Knobs::new(Scale::from_env());
     let (_, _, ds) = dataset_pairs(&knobs, 5);
     let dt = ds.config.dt_sample_tc;

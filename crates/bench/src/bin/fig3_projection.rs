@@ -8,6 +8,7 @@ use ft_analysis::separation::correlation_with_initial;
 use ft_bench::{csv, dataset_pairs, emit, Knobs, Scale};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig3_projection");
     let knobs = Knobs::new(Scale::from_env());
     let (_, _, ds) = dataset_pairs(&knobs, 5);
     let dt = ds.config.dt_sample_tc;

@@ -15,6 +15,7 @@ use ft_lbm::IcSpec;
 use ft_ns::{PdeSolver, SpectralNs};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig4_lyapunov");
     let knobs = Knobs::new(Scale::from_env());
     let n = knobs.grid;
     let u0 = 0.05;

@@ -11,6 +11,7 @@ use fno_core::rollout::{frame_errors, rollout};
 use fno_core::TrainConfig;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig5_output_channels");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     // Widths: the paper compares 8 and 40 and finds the wide model worse

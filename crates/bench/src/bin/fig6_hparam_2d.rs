@@ -9,6 +9,7 @@ use ft_bench::{csv, dataset_pairs, emit_labeled, train_2d, Knobs, Scale};
 use fno_core::TrainConfig;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig6_hparam_2d");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
 

@@ -12,6 +12,7 @@ use fno_core::rollout::{frame_errors, predict_block_3d};
 use fno_core::{Fno, FnoConfig, TrainConfig, Trainer};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig7_hparam_3d");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     // 3D FNO consumes and produces 10-frame blocks.

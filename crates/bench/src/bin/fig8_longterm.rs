@@ -14,6 +14,7 @@ use ft_lbm::vorticity;
 use ft_tensor::Tensor;
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig8_longterm");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let frames = if scale == Scale::Fast { 20 } else { 100 }; // 0.5 t_c at default scale

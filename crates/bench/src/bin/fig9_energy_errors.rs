@@ -10,6 +10,7 @@
 use ft_bench::{csv, emit_labeled, run_longterm_experiment, Knobs, Scale};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("fig9_energy_errors");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
     let frames = if scale == Scale::Fast { 20 } else { 100 };

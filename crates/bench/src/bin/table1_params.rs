@@ -11,6 +11,7 @@ use ft_bench::{csv, dataset_pairs, emit_labeled, Knobs, Scale};
 use fno_core::{Fno, FnoConfig, TrainConfig, Trainer};
 
 fn main() {
+    let _obs = ft_bench::obs_scope("table1_params");
     let scale = Scale::from_env();
     let knobs = Knobs::new(scale);
 

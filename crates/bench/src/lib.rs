@@ -214,6 +214,37 @@ pub fn emit_labeled(w: &mut ft_data::CsvWriter, label: &str, values: &[f64]) {
     w.labeled_row(label, values).expect("write row");
 }
 
+/// RAII observability scope for an experiment binary. Constructed at the
+/// top of `main`, it enables `ft-obs` instrumentation; on drop it writes
+/// `results/BENCH_<name>.json` (`ft-obs/bench-v1`, kind `"experiment"`)
+/// with the run's wall time and a snapshot of every counter, gauge and
+/// span the experiment touched.
+pub struct ObsScope {
+    name: &'static str,
+    start: std::time::Instant,
+}
+
+/// Enables instrumentation for an experiment binary and returns the guard
+/// that writes `results/BENCH_<name>.json` when dropped.
+pub fn obs_scope(name: &'static str) -> ObsScope {
+    ft_obs::set_enabled(true);
+    ObsScope { name, start: std::time::Instant::now() }
+}
+
+impl Drop for ObsScope {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed().as_secs_f64();
+        let record = ft_obs::Record::new("experiment")
+            .str("name", self.name)
+            .f64("wall_seconds", wall);
+        let path = results_dir().join(format!("BENCH_{}.json", self.name));
+        match ft_obs::bench::write_bench_json(&path, "experiment", self.name, wall, &[record]) {
+            Ok(()) => println!("# writing {}", path.display()),
+            Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 //!   convolution + pointwise linear + GELU), and a two-layer projection MLP;
 //! * [`train`] — the Sec. VI training loop: relative-L2 loss, Adam, StepLR,
 //!   mini-batching, held-out evaluation;
-//! * [`rollout`] — autoregressive prediction: a model with `k < 10` output
+//! * [`mod@rollout`] — autoregressive prediction: a model with `k < 10` output
 //!   channels is applied iteratively, feeding predictions back, until ten
 //!   frames exist (Sec. VI-A) or an arbitrary horizon is reached;
 //! * [`hybrid`] — the hybrid FNO–PDE time marching of Sec. VI-C: windows

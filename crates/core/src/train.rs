@@ -23,6 +23,14 @@ use crate::checkpoint::{save_periodic, Checkpoint, CheckpointConfig};
 use crate::config::FnoKind;
 use crate::model::ForecastModel;
 
+/// Epochs completed by any [`Trainer`] in the process; ticks only while
+/// `ft-obs` instrumentation is enabled.
+static TRAIN_EPOCHS: ft_obs::Counter = ft_obs::Counter::new("train.epochs");
+/// Training samples consumed (per-epoch batch sizes summed).
+static TRAIN_SAMPLES: ft_obs::Counter = ft_obs::Counter::new("train.samples");
+/// Health-monitor rollbacks performed.
+static TRAIN_RECOVERIES: ft_obs::Counter = ft_obs::Counter::new("train.recoveries");
+
 /// Which data-fit loss drives the optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LossKind {
@@ -111,6 +119,29 @@ pub struct RecoveryEvent {
     pub lr: f64,
 }
 
+/// Per-epoch training telemetry, collected unconditionally (it costs one
+/// clock read and a push per epoch) and mirrored as a `train_epoch` JSONL
+/// record when an `ft-obs` sink is open.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochMetrics {
+    /// Epoch index (global across resumes).
+    pub epoch: usize,
+    /// Wall-clock seconds this epoch took (including any health-monitor
+    /// retries and the periodic checkpoint write).
+    pub wall_seconds: f64,
+    /// Training samples consumed by the successful pass over the data.
+    pub samples: usize,
+    /// Throughput of this epoch (`samples / wall_seconds`).
+    pub samples_per_sec: f64,
+    /// Mean training loss of the epoch.
+    pub loss: f64,
+    /// Global gradient norm of the epoch's last batch (`NaN` when the
+    /// epoch had no surviving batches).
+    pub grad_norm: f64,
+    /// Learning rate in effect during the epoch.
+    pub lr: f64,
+}
+
 /// What a training run produced.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
@@ -129,6 +160,10 @@ pub struct TrainReport {
     /// healthy run; when `TrainConfig::max_recoveries` was exhausted the
     /// last entry is the fault that aborted training.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Per-epoch wall time, throughput, loss, gradient norm and learning
+    /// rate. On a resumed run this covers only the epochs executed by
+    /// this call (metrics are not persisted in `FTC1` checkpoints).
+    pub epochs: Vec<EpochMetrics>,
 }
 
 /// Owns a model and drives its optimization.
@@ -175,6 +210,7 @@ impl<M: ForecastModel> Trainer<M> {
     /// Runs the full loop and reports losses, held-out error and wall time.
     pub fn train(&mut self, train_pairs: &[Pair], test_pairs: &[Pair]) -> TrainReport {
         assert!(!train_pairs.is_empty(), "no training pairs");
+        let _train_span = ft_obs::span("train");
         let start = Instant::now();
         let mut opt = Adam::new(self.cfg.lr);
         let mut sched = StepLr::new(self.cfg.lr, self.cfg.scheduler_gamma, self.cfg.scheduler_step);
@@ -188,6 +224,7 @@ impl<M: ForecastModel> Trainer<M> {
         let mut last_epoch = 0usize;
         let mut lr_scale = 1.0f64;
         let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+        let mut epochs: Vec<EpochMetrics> = Vec::new();
         let mut start_epoch = 0usize;
 
         if let Some(ck) = self.resume.take() {
@@ -214,6 +251,9 @@ impl<M: ForecastModel> Trainer<M> {
 
         'training: for epoch in start_epoch..self.cfg.epochs {
             last_epoch = epoch;
+            let _epoch_span = ft_obs::span("epoch");
+            let epoch_start = Instant::now();
+            let epoch_lr = opt.lr;
             // Shuffle a fresh identity permutation so the epoch's order is a
             // pure function of the RNG state — a checkpointed `rng_state`
             // then reproduces it exactly on resume.
@@ -223,9 +263,11 @@ impl<M: ForecastModel> Trainer<M> {
             let guard_params = ft_nn::snapshot_params(&mut self.model);
             let guard_opt = opt.export_state();
             let mut skip: Vec<usize> = Vec::new();
-            let epoch_mean = loop {
+            let (epoch_mean, epoch_samples, epoch_grad_norm) = loop {
                 let mut epoch_loss = 0.0;
                 let mut batches = 0usize;
+                let mut samples = 0usize;
+                let mut last_grad_norm = f64::NAN;
                 let mut fault: Option<(usize, RecoveryCause)> = None;
                 for (bi, chunk) in order.chunks(self.cfg.batch_size).enumerate() {
                     if skip.contains(&bi) {
@@ -252,10 +294,12 @@ impl<M: ForecastModel> Trainer<M> {
                         break;
                     }
                     self.model.backward(&grad);
-                    if !ft_nn::global_grad_norm(&mut self.model).is_finite() {
+                    let grad_norm = ft_nn::global_grad_norm(&mut self.model);
+                    if !grad_norm.is_finite() {
                         fault = Some((bi, RecoveryCause::NonFiniteGrad));
                         break;
                     }
+                    last_grad_norm = grad_norm;
                     if let Some(cap) = self.cfg.grad_clip {
                         ft_nn::clip_grad_norm(&mut self.model, cap);
                     }
@@ -263,9 +307,10 @@ impl<M: ForecastModel> Trainer<M> {
                     self.model.zero_grad();
                     epoch_loss += loss;
                     batches += 1;
+                    samples += chunk.len();
                 }
                 let Some((batch, cause)) = fault else {
-                    break epoch_loss / batches.max(1) as f64;
+                    break (epoch_loss / batches.max(1) as f64, samples, last_grad_norm);
                 };
                 // Roll back to the last good state, halve the learning
                 // rate, and retry the epoch without the poisoned batch.
@@ -274,6 +319,7 @@ impl<M: ForecastModel> Trainer<M> {
                 self.model.zero_grad();
                 lr_scale *= 0.5;
                 opt.lr = sched.lr() * lr_scale;
+                TRAIN_RECOVERIES.inc();
                 recoveries.push(RecoveryEvent { epoch, batch, cause, lr: opt.lr });
                 if recoveries.len() > self.cfg.max_recoveries {
                     // Retries exhausted: stop with the last good weights.
@@ -285,6 +331,32 @@ impl<M: ForecastModel> Trainer<M> {
             opt.lr *= lr_scale;
             train_loss.push(epoch_mean);
 
+            let epoch_wall = epoch_start.elapsed().as_secs_f64();
+            let samples_per_sec =
+                if epoch_wall > 0.0 { epoch_samples as f64 / epoch_wall } else { 0.0 };
+            epochs.push(EpochMetrics {
+                epoch,
+                wall_seconds: epoch_wall,
+                samples: epoch_samples,
+                samples_per_sec,
+                loss: epoch_mean,
+                grad_norm: epoch_grad_norm,
+                lr: epoch_lr,
+            });
+            TRAIN_EPOCHS.inc();
+            TRAIN_SAMPLES.add(epoch_samples as u64);
+            ft_obs::emit_with(|| {
+                ft_obs::Record::new("train_epoch")
+                    .u64("epoch", epoch as u64)
+                    .f64("wall_seconds", epoch_wall)
+                    .u64("samples", epoch_samples as u64)
+                    .f64("samples_per_sec", samples_per_sec)
+                    .f64("loss", epoch_mean)
+                    .f64("grad_norm", epoch_grad_norm)
+                    .f64("lr", epoch_lr)
+                    .u64("recoveries", recoveries.len() as u64)
+            });
+
             // Validation tracking / early stopping. Skipped entirely when
             // there is no held-out data; a non-finite error is recorded in
             // the history but can neither become the best snapshot nor
@@ -293,6 +365,7 @@ impl<M: ForecastModel> Trainer<M> {
                 && !test_pairs.is_empty()
                 && (epoch + 1) % self.cfg.eval_every == 0
             {
+                let _eval_span = ft_obs::span("eval");
                 let err = evaluate(&self.model, test_pairs);
                 eval_history.push((epoch, err));
                 let improved =
@@ -361,6 +434,7 @@ impl<M: ForecastModel> Trainer<M> {
             eval_history,
             best_epoch,
             recoveries,
+            epochs,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Isotropic kinetic-energy spectrum `E(k)`.
 //!
 //! The standard diagnostic for spectral bias in ML emulators (the failure
-//! mode Refs. [3]/[4] of the paper attribute long-rollout instability to):
+//! mode Refs. \[3\]/\[4\] of the paper attribute long-rollout instability to):
 //! a surrogate that underpredicts the high-`k` tail is not resolving the
 //! small scales even when pointwise errors look acceptable.
 

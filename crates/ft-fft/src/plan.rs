@@ -6,6 +6,7 @@
 //! so call sites never re-derive twiddle tables.
 
 use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -63,6 +64,13 @@ impl Fft {
     }
 }
 
+/// Plan-cache hits across every planner in the process (including the
+/// thread-local ones behind [`with_plan`]). Only ticks while `ft-obs`
+/// instrumentation is enabled.
+static PLAN_CACHE_HITS: ft_obs::Counter = ft_obs::Counter::new("fft.plan_cache.hits");
+/// Plan-cache misses (a twiddle-table derivation) across the process.
+static PLAN_CACHE_MISSES: ft_obs::Counter = ft_obs::Counter::new("fft.plan_cache.misses");
+
 /// A by-size cache of [`Fft`] plans. Clone the returned `Arc`s freely; plans
 /// are immutable after construction and safe to share across threads.
 #[derive(Default)]
@@ -77,8 +85,19 @@ impl FftPlanner {
     }
 
     /// Returns the cached plan for size `n`, creating it on first use.
+    /// Hits and misses feed the `fft.plan_cache.{hits,misses}` counters
+    /// when observability is enabled.
     pub fn plan(&mut self, n: usize) -> Arc<Fft> {
-        self.cache.entry(n).or_insert_with(|| Arc::new(Fft::plan(n))).clone()
+        match self.cache.entry(n) {
+            Entry::Occupied(e) => {
+                PLAN_CACHE_HITS.inc();
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                PLAN_CACHE_MISSES.inc();
+                v.insert(Arc::new(Fft::plan(n))).clone()
+            }
+        }
     }
 }
 

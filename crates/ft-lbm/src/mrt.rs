@@ -14,7 +14,7 @@
 use crate::lattice::D2Q9;
 
 /// The fixed D2Q9 moment-transform matrix (rows are moments, columns the
-/// lattice directions in the [`D2Q9`] ordering).
+/// lattice directions in the [`D2Q9`](crate::lattice::D2Q9) ordering).
 pub const M: [[f64; 9]; 9] = [
     [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],   // ρ
     [-4.0, -1.0, -1.0, -1.0, -1.0, 2.0, 2.0, 2.0, 2.0], // e

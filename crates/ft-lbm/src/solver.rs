@@ -8,6 +8,13 @@ use crate::force::{guo_source, BodyForce};
 use crate::lattice::{equilibrium, h_function, moments, D2Q9};
 use crate::mrt::{self, MrtRates};
 
+/// Total collide-stream site updates (`steps × n²`) across all [`Lbm`]
+/// instances; ticks only while `ft-obs` instrumentation is enabled.
+static LBM_SITE_UPDATES: ft_obs::Counter = ft_obs::Counter::new("lbm.site_updates");
+/// Million lattice updates per second achieved by the most recent
+/// [`Lbm::run`] call — the standard LBM throughput figure.
+static LBM_MLUPS: ft_obs::Gauge = ft_obs::Gauge::new("lbm.mlups");
+
 /// Structured failure of an LBM integration. Raised by [`Lbm::try_run`]
 /// instead of letting NaN populations propagate into sampled fields.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,10 +210,23 @@ impl Lbm {
         self.steps += 1;
     }
 
-    /// Advances by `k` steps.
+    /// Advances by `k` steps. With `ft-obs` instrumentation enabled, the
+    /// call is timed under the `lbm.run` span, the `lbm.site_updates`
+    /// counter advances by `k·n²`, and the `lbm.mlups` gauge records the
+    /// achieved million-lattice-updates-per-second of this call.
     pub fn run(&mut self, k: usize) {
+        let _span = ft_obs::span("lbm.run");
+        let timer = ft_obs::enabled().then(std::time::Instant::now);
         for _ in 0..k {
             self.step();
+        }
+        if let Some(t0) = timer {
+            let sites = (k * self.cfg.n * self.cfg.n) as u64;
+            LBM_SITE_UPDATES.add(sites);
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 && sites > 0 {
+                LBM_MLUPS.set(sites as f64 / secs / 1e6);
+            }
         }
     }
 
@@ -244,9 +264,8 @@ impl Lbm {
     /// Advances until `t/t_c` first reaches or exceeds `t_conv`.
     pub fn run_convective(&mut self, t_conv: f64) {
         let target = (t_conv * self.cfg.t_c()).round() as u64;
-        while self.steps < target {
-            self.step();
-        }
+        let remaining = target.saturating_sub(self.steps) as usize;
+        self.run(remaining);
     }
 
     /// Collision: `f ← f + αβ (f^eq − f)` per cell, rayon-parallel over rows.

@@ -294,6 +294,7 @@ pub fn rfftn_adjoint(g_hat: &CTensor, last_dim: usize, ndim: usize) -> Tensor {
 
 impl Layer for SpectralConv {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        let _span = ft_obs::span("spectral_conv.forward");
         let input_dims = x.dims().to_vec();
         let (y, x_hat) = self.forward_impl(x);
         self.cache = Some(Cache { x_hat, input_dims });
@@ -301,6 +302,7 @@ impl Layer for SpectralConv {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = ft_obs::span("spectral_conv.backward");
         let Cache { x_hat, input_dims } =
             self.cache.take().expect("backward called without a cached forward");
         let b = input_dims[0];

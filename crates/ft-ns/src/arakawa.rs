@@ -193,8 +193,13 @@ impl PdeSolver for ArakawaNs {
     }
 
     fn advance(&mut self, dt: f64, steps: usize) {
+        let _span = ft_obs::span("ns.arakawa.advance");
+        let timer = ft_obs::enabled().then(std::time::Instant::now);
         for _ in 0..steps {
             self.step(dt);
+        }
+        if let Some(t0) = timer {
+            crate::record_advance(steps, t0.elapsed().as_secs_f64(), &crate::NS_ARAKAWA_STEPS_PER_SEC);
         }
     }
 

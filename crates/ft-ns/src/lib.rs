@@ -105,6 +105,23 @@ pub trait PdeSolver {
     }
 }
 
+/// Time steps integrated by any [`PdeSolver::advance`] in the process;
+/// ticks only while `ft-obs` instrumentation is enabled.
+static NS_STEPS: ft_obs::Counter = ft_obs::Counter::new("ns.steps");
+/// Steps/second achieved by the most recent [`SpectralNs`] advance.
+static NS_SPECTRAL_STEPS_PER_SEC: ft_obs::Gauge = ft_obs::Gauge::new("ns.spectral.steps_per_sec");
+/// Steps/second achieved by the most recent [`ArakawaNs`] advance.
+static NS_ARAKAWA_STEPS_PER_SEC: ft_obs::Gauge = ft_obs::Gauge::new("ns.arakawa.steps_per_sec");
+
+/// Records solver throughput for one `advance` call. `gauge` selects the
+/// per-solver steps/sec gauge; shared by both `PdeSolver` impls.
+pub(crate) fn record_advance(steps: usize, secs: f64, gauge: &'static ft_obs::Gauge) {
+    NS_STEPS.add(steps as u64);
+    if secs > 0.0 && steps > 0 {
+        gauge.set(steps as f64 / secs);
+    }
+}
+
 /// Strided finiteness probe over ~`samples` evenly spaced entries
 /// (plus the final one). Shared by the solver `check_finite` impls.
 pub(crate) fn sample_finite(data: &[f64], samples: usize) -> bool {

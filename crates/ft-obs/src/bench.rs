@@ -1,0 +1,182 @@
+//! Stable-schema `BENCH_*.json` emission.
+//!
+//! [`write_bench_json`] writes one machine-readable benchmark file
+//! combining caller-supplied [`Record`]s with a snapshot of every
+//! registered counter, gauge and span aggregate. The file is written
+//! atomically (temp file + rename), matching the workspace's
+//! crash-consistency conventions.
+//!
+//! # Schema (`ft-obs/bench-v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "ft-obs/bench-v1",
+//!   "kind": "train",                  // "train" | "solver" | "experiment"
+//!   "name": "fno2dturb-train",        // emitting binary / workload
+//!   "wall_seconds": 12.5,             // caller-measured wall clock
+//!   "records": [ { "record": "train_epoch", ... }, ... ],
+//!   "counters": { "fft.plan_cache.hits": 1024, ... },
+//!   "gauges":   { "lbm.mlups": 141.2, ... },
+//!   "spans": [
+//!     { "path": "train/epoch", "count": 20,
+//!       "total_ms": 12011.0, "mean_ms": 600.6 }
+//!   ]
+//! }
+//! ```
+//!
+//! The `schema` field is the compatibility contract: consumers must
+//! ignore unknown keys, and any breaking change bumps the suffix. The
+//! meaning of `records` depends on `kind` — `train` files carry one
+//! `train_epoch` record per epoch (see `fno_core::EpochMetrics`),
+//! `solver` files carry one record per measured solver workload, and
+//! `experiment` files (the `ft-bench` binaries) carry one summary record.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::metrics::{counter_snapshot, gauge_snapshot};
+use crate::sink::{encode_str, Record};
+use crate::span;
+
+/// Current schema identifier written to every bench file.
+pub const BENCH_SCHEMA: &str = "ft-obs/bench-v1";
+
+/// Writes a `BENCH_*.json` file at `path` (atomically) with the given
+/// `kind`/`name`, caller-measured `wall_seconds`, the `records`, and a
+/// snapshot of all counters, gauges and spans.
+pub fn write_bench_json(
+    path: impl AsRef<Path>,
+    kind: &str,
+    name: &str,
+    wall_seconds: f64,
+    records: &[Record],
+) -> io::Result<()> {
+    let json = render(kind, name, wall_seconds, records);
+    write_atomic(path.as_ref(), json.as_bytes())
+}
+
+fn render(kind: &str, name: &str, wall_seconds: f64, records: &[Record]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str("  \"kind\": ");
+    encode_str(kind, &mut out);
+    out.push_str(",\n  \"name\": ");
+    encode_str(name, &mut out);
+    out.push_str(",\n");
+    if wall_seconds.is_finite() {
+        out.push_str(&format!("  \"wall_seconds\": {wall_seconds},\n"));
+    } else {
+        out.push_str("  \"wall_seconds\": null,\n");
+    }
+
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&r.to_json());
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"counters\": {");
+    let counters = counter_snapshot();
+    for (i, (n, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        encode_str(n, &mut out);
+        out.push_str(&format!(": {v}"));
+    }
+    if !counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"gauges\": {");
+    let gauges = gauge_snapshot();
+    for (i, (n, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        encode_str(n, &mut out);
+        if v.is_finite() {
+            out.push_str(&format!(": {v}"));
+        } else {
+            out.push_str(": null");
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"spans\": [");
+    let spans = span::stats();
+    for (i, (path, stat)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { \"path\": ");
+        encode_str(path, &mut out);
+        let total_ms = stat.total_ns as f64 / 1e6;
+        let mean_ms = total_ms / stat.count.max(1) as f64;
+        out.push_str(&format!(
+            ", \"count\": {}, \"total_ms\": {total_ms}, \"mean_ms\": {mean_ms} }}",
+            stat.count
+        ));
+    }
+    if !spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = match path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => path.with_file_name(format!(".{name}.tmp")),
+        None => return Err(io::Error::new(io::ErrorKind::InvalidInput, "invalid path")),
+    };
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path).inspect_err(|_| {
+        fs::remove_file(&tmp).ok();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_shaped_json() {
+        let recs = vec![Record::new("train_epoch").u64("epoch", 0).f64("loss", 0.5)];
+        let s = render("train", "unit", 1.25, &recs);
+        assert!(s.starts_with("{\n  \"schema\": \"ft-obs/bench-v1\""));
+        assert!(s.contains("\"kind\": \"train\""));
+        assert!(s.contains("\"wall_seconds\": 1.25"));
+        assert!(s.contains(r#"{"record":"train_epoch","epoch":0,"loss":0.5}"#));
+        assert!(s.ends_with("]\n}\n"));
+        // Balanced braces/brackets — a cheap structural validity check.
+        let open = s.matches('{').count();
+        let close = s.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -1,0 +1,178 @@
+//! Monotonic counters and last-value gauges.
+//!
+//! Both are declared as `static`s at the instrumentation site and cost one
+//! relaxed atomic load (the enabled check) plus one atomic RMW when
+//! enabled — no locks on the hot path. A metric registers itself in a
+//! global registry the first time it is touched while enabled, which is
+//! how [`counter_snapshot`]/[`gauge_snapshot`] and the `BENCH_*.json`
+//! emitter find every live metric without a central declaration list.
+//!
+//! ```
+//! static SITE_UPDATES: ft_obs::Counter = ft_obs::Counter::new("lbm.site_updates");
+//! static MLUPS: ft_obs::Gauge = ft_obs::Gauge::new("lbm.mlups");
+//!
+//! ft_obs::set_enabled(true);
+//! SITE_UPDATES.add(1024);
+//! MLUPS.set(142.5);
+//! # ft_obs::set_enabled(false);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+
+/// A named monotonic counter. Increments are atomic (`fetch_add` with
+/// relaxed ordering), so concurrent rayon workers never lose updates;
+/// the atomicity is asserted under parallel load in `tests/obs.rs`.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A counter named `name`, initially zero. `const` so it can back a
+    /// `static` at the instrumentation site.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`. No-op (one load + branch) while instrumentation is
+    /// disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            COUNTERS.lock().unwrap().push(self);
+        }
+    }
+}
+
+/// A named last-value gauge holding an `f64` (stored as atomic bits).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A gauge named `name`, initially `0.0`. `const` so it can back a
+    /// `static` at the instrumentation site.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Stores `v`. No-op while instrumentation is disabled.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            GAUGES.lock().unwrap().push(self);
+        }
+    }
+}
+
+/// `(name, value)` of every counter touched so far, sorted by name.
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut v: Vec<(&'static str, u64)> = COUNTERS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| (c.name, c.get()))
+        .collect();
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+/// `(name, value)` of every gauge touched so far, sorted by name.
+pub fn gauge_snapshot() -> Vec<(&'static str, f64)> {
+    let mut v: Vec<(&'static str, f64)> = GAUGES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|g| (g.name, g.get()))
+        .collect();
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+/// Zeroes every registered counter and gauge (registration is kept).
+pub fn reset() {
+    for c in COUNTERS.lock().unwrap().iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in GAUGES.lock().unwrap().iter() {
+        g.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static DISABLED_COUNTER: Counter = Counter::new("test.disabled_counter");
+
+    #[test]
+    fn disabled_counter_never_registers_or_counts() {
+        crate::set_enabled(false);
+        DISABLED_COUNTER.add(5);
+        assert_eq!(DISABLED_COUNTER.get(), 0);
+        assert!(!counter_snapshot()
+            .iter()
+            .any(|(n, _)| *n == "test.disabled_counter"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the observability substrate: span nesting and
+//! aggregation, counter atomicity under rayon parallelism, and JSONL /
+//! bench-file schema stability (golden records).
+//!
+//! All tests here run with instrumentation **enabled** and never turn it
+//! off, so they can share the process-global state safely under the
+//! default parallel test harness. The disabled-mode guarantees live in
+//! `tests/no_alloc.rs` (its own process).
+
+use rayon::prelude::*;
+
+#[test]
+fn span_nesting_builds_hierarchical_paths() {
+    ft_obs::set_enabled(true);
+    {
+        let _outer = ft_obs::span("nest_outer");
+        for _ in 0..3 {
+            let _inner = ft_obs::span("nest_inner");
+        }
+    }
+    let stats = ft_obs::span::stats();
+    let outer = stats.iter().find(|(p, _)| p == "nest_outer").expect("outer span");
+    let inner = stats
+        .iter()
+        .find(|(p, _)| p == "nest_outer/nest_inner")
+        .expect("inner span aggregates under the outer path");
+    assert_eq!(outer.1.count, 1);
+    assert_eq!(inner.1.count, 3);
+    assert!(outer.1.total_ns >= inner.1.total_ns, "parent covers children");
+    // A sibling entered after the outer guard dropped is a root again.
+    {
+        let _root = ft_obs::span("nest_root_again");
+    }
+    assert!(ft_obs::span::stats().iter().any(|(p, _)| p == "nest_root_again"));
+}
+
+#[test]
+fn span_aggregation_accumulates_across_reentry() {
+    ft_obs::set_enabled(true);
+    for _ in 0..10 {
+        let _g = ft_obs::span("reentrant");
+    }
+    let stats = ft_obs::span::stats();
+    let (_, s) = stats.iter().find(|(p, _)| p == "reentrant").unwrap();
+    assert_eq!(s.count, 10);
+}
+
+static PAR_COUNTER: ft_obs::Counter = ft_obs::Counter::new("test.par_counter");
+
+#[test]
+fn counter_is_atomic_under_rayon_parallelism() {
+    ft_obs::set_enabled(true);
+    let n: u64 = 100_000;
+    // Well above the compat-rayon inline threshold, so this genuinely
+    // splits across std::thread::scope workers.
+    (0..n).into_par_iter().for_each(|_| PAR_COUNTER.inc());
+    assert_eq!(PAR_COUNTER.get(), n, "no increments may be lost");
+    assert!(ft_obs::metrics::counter_snapshot()
+        .iter()
+        .any(|(name, v)| *name == "test.par_counter" && *v == n));
+}
+
+static GOLD_GAUGE: ft_obs::Gauge = ft_obs::Gauge::new("test.gold_gauge");
+
+#[test]
+fn gauge_holds_last_value() {
+    ft_obs::set_enabled(true);
+    GOLD_GAUGE.set(1.5);
+    GOLD_GAUGE.set(-2.25);
+    assert_eq!(GOLD_GAUGE.get(), -2.25);
+}
+
+/// Golden record: the exact serialized form of the `train_epoch` JSONL
+/// record. `fno_core::Trainer` emits this schema; changing field names,
+/// order, or types must update this test *and* the documented schema in
+/// the README ("Observability").
+#[test]
+fn train_epoch_jsonl_schema_is_stable() {
+    let rec = ft_obs::Record::new("train_epoch")
+        .u64("epoch", 7)
+        .f64("wall_seconds", 0.5)
+        .u64("samples", 160)
+        .f64("samples_per_sec", 320.0)
+        .f64("loss", 0.125)
+        .f64("grad_norm", 2.5)
+        .f64("lr", 0.001)
+        .u64("recoveries", 0);
+    assert_eq!(
+        rec.to_json(),
+        r#"{"record":"train_epoch","epoch":7,"wall_seconds":0.5,"samples":160,"samples_per_sec":320,"loss":0.125,"grad_norm":2.5,"lr":0.001,"recoveries":0}"#
+    );
+}
+
+#[test]
+fn jsonl_sink_writes_one_record_per_line() {
+    ft_obs::set_enabled(true);
+    let path = std::env::temp_dir().join(format!("ft_obs_sink_{}.jsonl", std::process::id()));
+    ft_obs::open_jsonl(&path).unwrap();
+    ft_obs::emit(&ft_obs::Record::new("a").u64("i", 1));
+    ft_obs::emit_with(|| ft_obs::Record::new("b").str("s", "two"));
+    ft_obs::close_jsonl();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0], r#"{"record":"a","i":1}"#);
+    assert_eq!(lines[1], r#"{"record":"b","s":"two"}"#);
+    // After close, emission is dropped silently.
+    ft_obs::emit(&ft_obs::Record::new("c"));
+    assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_json_has_stable_envelope() {
+    ft_obs::set_enabled(true);
+    let path = std::env::temp_dir().join(format!("ft_obs_bench_{}.json", std::process::id()));
+    let recs = vec![ft_obs::Record::new("train_epoch").u64("epoch", 0).f64("loss", 0.5)];
+    ft_obs::bench::write_bench_json(&path, "train", "golden", 2.0, &recs).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    for needle in [
+        "\"schema\": \"ft-obs/bench-v1\"",
+        "\"kind\": \"train\"",
+        "\"name\": \"golden\"",
+        "\"wall_seconds\": 2",
+        "\"records\": [",
+        "\"counters\": {",
+        "\"gauges\": {",
+        "\"spans\": [",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    assert_eq!(text.matches('{').count(), text.matches('}').count());
+    std::fs::remove_file(&path).ok();
+}

@@ -25,4 +25,7 @@ if [ "$LINT" = 1 ]; then
     cargo clippy --workspace --offline -- -D warnings
 fi
 
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
+
 echo "CI OK"

@@ -19,6 +19,15 @@
 //! model (config + weights); `rollout` autoregressively forecasts a sample
 //! and reports per-frame errors; `hybrid` marches one of the three schemes
 //! and prints the Fig. 8 diagnostics.
+//!
+//! Every command additionally accepts the observability options
+//! `--metrics-out FILE` (stream JSONL metric records — one `train_epoch`
+//! record per epoch during `train`) and `--profile` (print the aggregated
+//! span tree, counters and gauges to stderr on exit). Either option enables
+//! the `ft-obs` instrumentation; with both off the instrumented code paths
+//! cost a single atomic load. With instrumentation on, `train` also writes
+//! `BENCH_train.json` and `generate` writes `BENCH_solver.json`
+//! (`ft-obs/bench-v1` schema; override the path with `--bench-out FILE`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -48,6 +57,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let profile = opts.contains_key("profile");
+    if profile {
+        ft_obs::set_enabled(true);
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        ft_obs::set_enabled(true);
+        if let Err(e) = ft_obs::open_jsonl(path) {
+            eprintln!("error: --metrics-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
         "train" => cmd_train(&opts),
@@ -60,6 +80,10 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    ft_obs::close_jsonl();
+    if profile {
+        eprint!("{}", ft_obs::profile_report());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -82,9 +106,17 @@ const USAGE: &str = "usage:
   fno2dturb hybrid   --data data.ftt --model model.fnc [--frames N]
                      [--scheme hybrid|fno|pde] [--window K] [--reynolds RE]
   fno2dturb ensemble --data data.ftt --model model.fnc [--sample I] [--frames N]
-                     [--members M] [--delta D]";
+                     [--members M] [--delta D]
+
+observability (any command):
+  --metrics-out FILE   stream JSONL metric records to FILE
+  --profile            print span/counter/gauge profile to stderr on exit
+  --bench-out FILE     override the BENCH_train.json / BENCH_solver.json path";
 
 type Opts = HashMap<String, String>;
+
+/// Options that are boolean flags (present/absent, no value argument).
+const FLAGS: &[&str] = &["profile"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -93,6 +125,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got `{a}`"))?;
+        if FLAGS.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         out.insert(key.to_string(), val.clone());
     }
@@ -136,9 +172,30 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
         solver,
         seed,
     };
+    let start = std::time::Instant::now();
     let ds = TurbulenceDataset::generate(cfg);
+    let wall = start.elapsed().as_secs_f64();
     save_tensor(out, &ds.velocity).map_err(|e| e.to_string())?;
     eprintln!("wrote {out} ({:?})", ds.velocity.dims());
+    if ft_obs::enabled() {
+        let solver_name = match solver {
+            SolverKind::SpectralNs => "spectral",
+            SolverKind::EntropicLbm => "lbm",
+            SolverKind::BgkLbm => "bgk",
+            SolverKind::ArakawaFd => "arakawa",
+        };
+        let record = ft_obs::Record::new("generate")
+            .str("solver", solver_name)
+            .u64("grid", grid as u64)
+            .u64("samples", samples as u64)
+            .u64("snapshots", snapshots as u64)
+            .f64("reynolds", reynolds)
+            .f64("wall_seconds", wall);
+        let bench = opts.get("bench-out").map(String::as_str).unwrap_or("BENCH_solver.json");
+        ft_obs::bench::write_bench_json(bench, "solver", "fno2dturb-generate", wall, &[record])
+            .map_err(|e| format!("{bench}: {e}"))?;
+        eprintln!("wrote {bench}");
+    }
     Ok(())
 }
 
@@ -222,6 +279,35 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             "recovered from {:?} at epoch {} batch {} (lr now {:.3e})",
             r.cause, r.epoch, r.batch, r.lr
         );
+    }
+    if ft_obs::enabled() {
+        let records: Vec<ft_obs::Record> = report
+            .epochs
+            .iter()
+            .map(|m| {
+                let recoveries =
+                    report.recoveries.iter().filter(|r| r.epoch <= m.epoch).count() as u64;
+                ft_obs::Record::new("train_epoch")
+                    .u64("epoch", m.epoch as u64)
+                    .f64("wall_seconds", m.wall_seconds)
+                    .u64("samples", m.samples as u64)
+                    .f64("samples_per_sec", m.samples_per_sec)
+                    .f64("loss", m.loss)
+                    .f64("grad_norm", m.grad_norm)
+                    .f64("lr", m.lr)
+                    .u64("recoveries", recoveries)
+            })
+            .collect();
+        let bench = opts.get("bench-out").map(String::as_str).unwrap_or("BENCH_train.json");
+        ft_obs::bench::write_bench_json(
+            bench,
+            "train",
+            "fno2dturb-train",
+            report.wall_seconds,
+            &records,
+        )
+        .map_err(|e| format!("{bench}: {e}"))?;
+        eprintln!("wrote {bench}");
     }
     let mut model = trainer.into_model();
     model.save(model_path).map_err(|e| e.to_string())?;

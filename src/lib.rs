@@ -14,7 +14,10 @@
 //! * [`analysis`] — flow statistics, spectra, Lyapunov exponents,
 //! * [`nn`] — neural-net substrate with hand-derived reverse-mode gradients,
 //! * [`fno`] — the paper's contribution: FNO2d/FNO3d, training, rollout and
-//!   the hybrid FNO-PDE orchestrator.
+//!   the hybrid FNO-PDE orchestrator,
+//! * [`obs`] — observability substrate: timing spans, counters/gauges,
+//!   JSONL metric streaming and `BENCH_*.json` emission (off by default,
+//!   zero overhead when disabled).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -28,6 +31,7 @@ pub use ft_fft as fft;
 pub use ft_lbm as lbm;
 pub use ft_nn as nn;
 pub use ft_ns as ns;
+pub use ft_obs as obs;
 pub use ft_tensor as tensor;
 pub use fno_core as fno;
 

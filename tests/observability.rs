@@ -1,0 +1,137 @@
+//! End-to-end observability: a real training run streaming JSONL metrics
+//! and the `BENCH_*.json` writer, plus the disabled-mode contract.
+//!
+//! The `ft-obs` state (enabled flag, span aggregates, sink) is process
+//! global, so the whole scenario runs as one sequential test.
+
+use fno2d_turbulence::data::Pair;
+use fno2d_turbulence::fno::{Fno, FnoConfig, TrainConfig, Trainer};
+use fno2d_turbulence::obs as ft_obs;
+use fno2d_turbulence::tensor::Tensor;
+
+/// Synthetic smooth pairs: enough signal for a few finite-loss epochs.
+fn tiny_pairs(count: usize, n: usize) -> Vec<Pair> {
+    (0..count)
+        .map(|s| {
+            let field = |c: usize, off: f64| {
+                let data: Vec<f64> = (0..n * n)
+                    .map(|i| {
+                        let (y, x) = (i / n, i % n);
+                        let phase = off + c as f64 * 0.3 + s as f64 * 0.7;
+                        ((x as f64 + phase).sin() + (y as f64 - phase).cos()) * 0.1
+                    })
+                    .collect();
+                data
+            };
+            let input: Vec<f64> = (0..10).flat_map(|c| field(c, 0.0)).collect();
+            let target: Vec<f64> = (0..5).flat_map(|c| field(c, 1.0)).collect();
+            Pair {
+                input: Tensor::from_vec(&[10, n, n], input),
+                target: Tensor::from_vec(&[5, n, n], target),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn training_streams_one_jsonl_record_per_epoch() {
+    // Phase 1: disabled mode records nothing.
+    ft_obs::set_enabled(false);
+    ft_obs::reset();
+    {
+        let _s = ft_obs::span("should_not_record");
+    }
+    assert!(
+        ft_obs::span::stats().is_empty(),
+        "disabled spans must not aggregate"
+    );
+
+    // Phase 2: enabled with a sink — a real (tiny) training run.
+    let dir = std::env::temp_dir().join(format!("ft_obs_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+    ft_obs::set_enabled(true);
+    ft_obs::open_jsonl(&metrics).unwrap();
+
+    let epochs = 3;
+    let mut cfg = FnoConfig::fno2d(4, 2, 3, 5);
+    cfg.lifting_channels = 8;
+    cfg.projection_channels = 8;
+    let model = Fno::new(cfg, 7);
+    let tcfg = TrainConfig {
+        epochs,
+        batch_size: 2,
+        lr: 1e-3,
+        eval_every: 1,
+        ..Default::default()
+    };
+    let train = tiny_pairs(4, 8);
+    let test = tiny_pairs(2, 8);
+    let mut trainer = Trainer::new(model, tcfg);
+    let report = trainer.train(&train, &test);
+    ft_obs::close_jsonl();
+
+    // The report carries per-epoch metrics...
+    assert_eq!(report.epochs.len(), epochs);
+    for (i, m) in report.epochs.iter().enumerate() {
+        assert_eq!(m.epoch, i);
+        assert!(m.wall_seconds > 0.0);
+        assert_eq!(m.samples, train.len());
+        assert!(m.samples_per_sec > 0.0);
+        assert!(m.loss.is_finite());
+        assert!(m.grad_norm.is_finite());
+        assert!(m.lr > 0.0);
+    }
+
+    // ...and the sink mirrored them: one JSONL object per epoch with the
+    // documented keys.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), epochs, "one record per epoch:\n{text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.starts_with(r#"{"record":"train_epoch","#), "line {i}: {line}");
+        assert!(line.ends_with('}'), "line {i}: {line}");
+        assert!(line.contains(&format!(r#""epoch":{i}"#)), "line {i}: {line}");
+        for key in [
+            "wall_seconds",
+            "samples",
+            "samples_per_sec",
+            "loss",
+            "grad_norm",
+            "lr",
+            "recoveries",
+        ] {
+            assert!(line.contains(&format!(r#""{key}":"#)), "line {i} missing {key}: {line}");
+        }
+    }
+
+    // Spans aggregated under the hierarchical training paths.
+    let spans = ft_obs::span::stats();
+    let has = |p: &str| spans.iter().any(|(path, _)| path == p);
+    assert!(has("train"), "span paths: {spans:?}");
+    assert!(has("train/epoch"), "span paths: {spans:?}");
+    assert!(has("train/epoch/eval"), "span paths: {spans:?}");
+
+    // Phase 3: the bench writer snapshots it all under the stable schema.
+    let bench = dir.join("BENCH_train.json");
+    let records: Vec<ft_obs::Record> = report
+        .epochs
+        .iter()
+        .map(|m| {
+            ft_obs::Record::new("train_epoch")
+                .u64("epoch", m.epoch as u64)
+                .f64("loss", m.loss)
+        })
+        .collect();
+    ft_obs::bench::write_bench_json(&bench, "train", "it", report.wall_seconds, &records)
+        .unwrap();
+    let json = std::fs::read_to_string(&bench).unwrap();
+    for key in ["\"schema\": \"ft-obs/bench-v1\"", "\"kind\": \"train\"", "\"records\"", "\"counters\"", "\"gauges\"", "\"spans\""] {
+        assert!(json.contains(key), "bench json missing {key}:\n{json}");
+    }
+    assert!(json.contains("\"train.epochs\": 3"), "counter snapshot:\n{json}");
+    assert!(json.contains("train/epoch"), "span snapshot:\n{json}");
+
+    ft_obs::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
