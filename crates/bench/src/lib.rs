@@ -126,6 +126,7 @@ impl Knobs {
             ic: IcSpec { k_min: 2, k_max: (self.grid / 6).clamp(3, 8) },
             solver: if self.grid >= 128 { SolverKind::EntropicLbm } else { SolverKind::SpectralNs },
             seed: 1,
+            probe_every: 0,
         }
     }
 }

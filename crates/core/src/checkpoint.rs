@@ -97,6 +97,7 @@ impl Checkpoint {
     /// `InvalidData` (or the underlying `io::Error` for filesystem
     /// problems).
     pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let path = path.as_ref();
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let bytes = fs::read(path)?;
         if bytes.len() < 16 {
@@ -120,6 +121,12 @@ impl Checkpoint {
         if !r.is_empty() {
             return Err(bad("trailing bytes after checkpoint payload"));
         }
+        ft_obs::flight::event_with(|| {
+            ft_obs::Record::new("event")
+                .str("kind", "checkpoint_restore")
+                .str("path", &path.display().to_string())
+                .u64("epoch", ck.epochs_done)
+        });
         Ok(ck)
     }
 
@@ -301,6 +308,12 @@ pub fn save_periodic(ck: &Checkpoint, cfg: &CheckpointConfig) -> io::Result<Path
             fs::remove_file(old)?;
         }
     }
+    ft_obs::flight::event_with(|| {
+        ft_obs::Record::new("event")
+            .str("kind", "checkpoint_write")
+            .str("path", &path.display().to_string())
+            .u64("epoch", ck.epochs_done)
+    });
     Ok(path)
 }
 

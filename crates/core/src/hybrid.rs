@@ -159,6 +159,7 @@ impl<'a, S: PdeSolver, M: ForecastModel> HybridScheme<'a, S, M> {
                 for t in 0..take {
                     let (ux, uy) = (px.index_axis0(t), py.index_axis0(t));
                     if check_every.is_some() && !(frame_finite(&ux) && frame_finite(&uy)) {
+                        ft_ns::report_blowup("hybrid.fno", produced as u64, "fno velocity");
                         return Err(SolverError::BlowUp {
                             step: produced as u64,
                             field: "fno velocity",

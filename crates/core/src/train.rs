@@ -30,6 +30,10 @@ static TRAIN_EPOCHS: ft_obs::Counter = ft_obs::Counter::new("train.epochs");
 static TRAIN_SAMPLES: ft_obs::Counter = ft_obs::Counter::new("train.samples");
 /// Health-monitor rollbacks performed.
 static TRAIN_RECOVERIES: ft_obs::Counter = ft_obs::Counter::new("train.recoveries");
+/// Distribution of per-batch training losses (finite batches only): the
+/// tail quantiles expose straggler batches long before the epoch mean
+/// moves.
+static BATCH_LOSS: ft_obs::Histogram = ft_obs::Histogram::new("train.batch_loss");
 
 /// Which data-fit loss drives the optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -76,6 +80,13 @@ pub struct TrainConfig {
     /// How many health-monitor rollbacks (non-finite loss or gradients)
     /// to tolerate before aborting training with the last good weights.
     pub max_recoveries: usize,
+    /// Emit a `physics` JSONL record for the first held-out prediction
+    /// every this many epochs (0 disables). The prediction's channels are
+    /// read as paired components — first half `u_x` frames, second half
+    /// `u_y` — and the newest frame of each half is measured; pairs with
+    /// an odd channel count or non-square fields are skipped silently.
+    /// Only active while `ft-obs` instrumentation is enabled.
+    pub probe_every: usize,
 }
 
 impl Default for TrainConfig {
@@ -93,6 +104,7 @@ impl Default for TrainConfig {
             early_stop_patience: 0,
             divergence_weight: 0.0,
             max_recoveries: 3,
+            probe_every: 0,
         }
     }
 }
@@ -293,6 +305,7 @@ impl<M: ForecastModel> Trainer<M> {
                         fault = Some((bi, RecoveryCause::NonFiniteLoss));
                         break;
                     }
+                    BATCH_LOSS.observe(loss);
                     self.model.backward(&grad);
                     let grad_norm = ft_nn::global_grad_norm(&mut self.model);
                     if !grad_norm.is_finite() {
@@ -321,6 +334,32 @@ impl<M: ForecastModel> Trainer<M> {
                 opt.lr = sched.lr() * lr_scale;
                 TRAIN_RECOVERIES.inc();
                 recoveries.push(RecoveryEvent { epoch, batch, cause, lr: opt.lr });
+                // Flight-record the anomaly: the rollback itself, the LR
+                // halving it caused, and a dump of the moments before it.
+                ft_obs::flight::event_with(|| {
+                    ft_obs::Record::new("event")
+                        .str("kind", "nan_rollback")
+                        .str("source", "train")
+                        .u64("epoch", epoch as u64)
+                        .u64("batch", batch as u64)
+                        .str(
+                            "cause",
+                            match cause {
+                                RecoveryCause::NonFiniteLoss => "non_finite_loss",
+                                RecoveryCause::NonFiniteGrad => "non_finite_grad",
+                            },
+                        )
+                });
+                ft_obs::flight::event_with(|| {
+                    ft_obs::Record::new("event")
+                        .str("kind", "lr_halved")
+                        .str("source", "train")
+                        .u64("epoch", epoch as u64)
+                        .f64("lr", opt.lr)
+                });
+                if let Some(Err(e)) = ft_obs::flight::dump("health_monitor") {
+                    eprintln!("warning: flight-recorder dump failed: {e}");
+                }
                 if recoveries.len() > self.cfg.max_recoveries {
                     // Retries exhausted: stop with the last good weights.
                     break 'training;
@@ -356,6 +395,13 @@ impl<M: ForecastModel> Trainer<M> {
                     .f64("lr", epoch_lr)
                     .u64("recoveries", recoveries.len() as u64)
             });
+            if self.cfg.probe_every > 0
+                && !test_pairs.is_empty()
+                && (epoch + 1) % self.cfg.probe_every == 0
+                && ft_obs::enabled()
+            {
+                self.probe_physics(test_pairs, epoch);
+            }
 
             // Validation tracking / early stopping. Skipped entirely when
             // there is no held-out data; a non-finite error is recorded in
@@ -436,6 +482,36 @@ impl<M: ForecastModel> Trainer<M> {
             recoveries,
             epochs,
         }
+    }
+
+    /// Measures the physics of the model's prediction for the first
+    /// held-out pair and emits a `physics` record (source `train.eval`,
+    /// `step` = epoch). The channels are interpreted as paired components
+    /// (first half `u_x`, second half `u_y`, newest frame of each half
+    /// measured); odd channel counts, non-4D layouts and non-square
+    /// fields are skipped — the probe must never fail a training run.
+    fn probe_physics(&self, test_pairs: &[Pair], epoch: usize) {
+        let (x, _) = batch_of(test_pairs, &[0], self.model.layout());
+        let pred = self.model.infer(&x);
+        let d = pred.dims().to_vec();
+        if d.len() != 4 || d[1] % 2 != 0 || d[1] == 0 || d[2] != d[3] {
+            return;
+        }
+        let k = d[1] / 2;
+        let sample = pred.index_axis0(0);
+        let ux = sample.index_axis0(k - 1);
+        let uy = sample.index_axis0(2 * k - 1);
+        let m = ft_analysis::PhysicsDiagnostics::measure(&ux, &uy);
+        ft_obs::emit_with(|| {
+            ft_obs::Record::new("physics")
+                .str("source", "train.eval")
+                .u64("step", epoch as u64)
+                .f64("total_energy", m.total_energy)
+                .f64("enstrophy", m.enstrophy)
+                .f64("mean_vorticity", m.mean_vorticity)
+                .f64("highk_fraction", m.highk_fraction)
+                .f64("div_residual", m.div_residual)
+        });
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -10,7 +10,10 @@
 //!   trajectories via the paper's Eq. (1), and the Lyapunov time `T_L = 1/Λ`
 //!   (Fig. 4);
 //! * [`spectrum`] — isotropic kinetic-energy spectrum `E(k)`, the standard
-//!   diagnostic for spectral bias of ML surrogates.
+//!   diagnostic for spectral bias of ML surrogates;
+//! * [`probe`] — a [`DiagnosticsProbe`] that periodically measures a live
+//!   velocity field (energy, enstrophy, spectral tail, divergence
+//!   residual) and streams `physics` records through the `ft-obs` sink.
 
 #![warn(missing_docs)]
 // Indexed loops mirror the discrete math in numeric kernels; clippy's
@@ -19,12 +22,14 @@
 
 pub mod higher_order;
 pub mod lyapunov;
+pub mod probe;
 pub mod separation;
 pub mod spectrum;
 pub mod stats;
 
 pub use higher_order::{excess_kurtosis, pdf, structure_function};
 pub use lyapunov::{lyapunov_exponent, LyapunovEstimate};
+pub use probe::{DiagnosticsProbe, PhysicsDiagnostics};
 pub use separation::{correlation_with_initial, l2_separation_from_initial};
 pub use spectrum::energy_spectrum;
 pub use stats::{FieldStats, GlobalDiagnostics};

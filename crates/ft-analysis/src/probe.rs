@@ -1,0 +1,222 @@
+//! Live physics diagnostics: the leading indicators of rollout failure.
+//!
+//! Wall-clock spans and counters (PR 2's `ft-obs`) can tell you a run is
+//! *slow*, but not that it is drifting toward a spectrally biased or
+//! blowing-up model — by the time the loss goes NaN the interesting part
+//! already happened. This module computes the physics quantities that
+//! move *first* (energy/enstrophy budget, spectral tail, conservation
+//! residuals) and streams them as `physics` JSONL records through the
+//! `ft-obs` sink.
+//!
+//! [`PhysicsDiagnostics::measure`] is the pure computation; a
+//! [`DiagnosticsProbe`] adds cadence (emit every N steps) and record
+//! identity (source solver, optional sample tag), and is cheap enough to
+//! leave attached permanently: while `ft-obs` instrumentation is disabled
+//! a probe tick is one counter bump and a branch, and the field
+//! extraction + FFT only run on the emitting ticks.
+
+use ft_tensor::Tensor;
+
+use crate::spectrum::energy_spectrum;
+use crate::stats::{ft_divergence, ft_vorticity};
+
+/// Scalar physics diagnostics of one velocity snapshot — the payload of a
+/// `physics` record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhysicsDiagnostics {
+    /// Domain-summed kinetic energy `½ Σ (u_x² + u_y²)`.
+    pub total_energy: f64,
+    /// Global enstrophy `Σ ω²` (centered-difference vorticity).
+    pub enstrophy: f64,
+    /// Volume-mean vorticity — conserved (≈0) on a periodic box; drift
+    /// indicates a broken discretization or a hallucinating surrogate.
+    pub mean_vorticity: f64,
+    /// Fraction of kinetic energy in the top third of resolvable shells
+    /// (`k ≥ ⌊⅔·k_max⌋`). Rising tail fraction is the classic signature
+    /// of an FNO rollout going unstable; a collapsing one is spectral
+    /// bias.
+    pub highk_fraction: f64,
+    /// Dimensionless incompressibility residual: `‖∇·u‖₂ / √(Σ ω²)`
+    /// (both are velocity-gradient norms, so the ratio is scale-free).
+    /// ≈0 for solver output; grows when a surrogate leaves the
+    /// divergence-free manifold.
+    pub div_residual: f64,
+}
+
+impl PhysicsDiagnostics {
+    /// Measures a velocity snapshot (square 2D fields).
+    pub fn measure(ux: &Tensor, uy: &Tensor) -> Self {
+        let w = ft_vorticity(ux, uy);
+        let enstrophy = w.dot(&w);
+        let div = ft_divergence(ux, uy);
+        let e = energy_spectrum(ux, uy);
+        let total: f64 = e.iter().sum();
+        let cut = 2 * (e.len() - 1) / 3;
+        let tail: f64 = e[cut.min(e.len() - 1)..].iter().sum();
+        PhysicsDiagnostics {
+            total_energy: 0.5 * (ux.dot(ux) + uy.dot(uy)),
+            enstrophy,
+            mean_vorticity: w.mean(),
+            highk_fraction: if total > 0.0 { tail / total } else { 0.0 },
+            div_residual: if enstrophy > 0.0 { div.norm_l2() / enstrophy.sqrt() } else { 0.0 },
+        }
+    }
+}
+
+/// Periodically measures a velocity field and emits a `physics` record.
+///
+/// Owners (solvers, the trainer) call [`DiagnosticsProbe::advance`] on
+/// every step with the number of steps taken; when it returns `true` the
+/// probe is *due* and the owner extracts the fields and calls
+/// [`DiagnosticsProbe::emit`]. The two-call protocol keeps the expensive
+/// part (velocity extraction, FFT) off the path of non-emitting steps and
+/// sidesteps borrow conflicts between the probe and the solver state.
+///
+/// The emitted record:
+///
+/// ```json
+/// {"record":"physics","source":"ns.spectral","step":1024,"tag":3,
+///  "total_energy":12.9,"enstrophy":0.081,"mean_vorticity":1.2e-17,
+///  "highk_fraction":0.004,"div_residual":3.1e-13}
+/// ```
+///
+/// (`tag` is present only when set; it identifies the trajectory/sample
+/// when many probes stream into one sink concurrently.)
+#[derive(Clone, Debug)]
+pub struct DiagnosticsProbe {
+    source: String,
+    every: u64,
+    tag: Option<u64>,
+    steps: u64,
+    next_at: u64,
+}
+
+impl DiagnosticsProbe {
+    /// A probe labelled `source` that becomes due every `every` steps
+    /// (`0` disables it permanently).
+    pub fn new(source: &str, every: u64) -> Self {
+        DiagnosticsProbe { source: source.to_string(), every, tag: None, steps: 0, next_at: every }
+    }
+
+    /// Attaches a numeric tag (e.g. the sample index) to every record.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// Advances the probe's step count by `n` and reports whether a
+    /// measurement is due. Always `false` (and free of side effects
+    /// beyond the count) while `ft-obs` instrumentation is disabled or
+    /// the cadence is `0`.
+    #[inline]
+    pub fn advance(&mut self, n: u64) -> bool {
+        self.steps += n;
+        if self.every == 0 || !ft_obs::enabled() || self.steps < self.next_at {
+            return false;
+        }
+        // One emission per due-crossing, however large `n` was.
+        self.next_at = self.steps + self.every;
+        true
+    }
+
+    /// Steps counted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Measures `(ux, uy)`, emits the `physics` record to the open sink
+    /// (if any), and returns the diagnostics. Call when
+    /// [`DiagnosticsProbe::advance`] returned `true`.
+    pub fn emit(&mut self, ux: &Tensor, uy: &Tensor) -> PhysicsDiagnostics {
+        let d = PhysicsDiagnostics::measure(ux, uy);
+        ft_obs::emit_with(|| {
+            let mut r = ft_obs::Record::new("physics")
+                .str("source", &self.source)
+                .u64("step", self.steps);
+            if let Some(tag) = self.tag {
+                r = r.u64("tag", tag);
+            }
+            r.f64("total_energy", d.total_energy)
+                .f64("enstrophy", d.enstrophy)
+                .f64("mean_vorticity", d.mean_vorticity)
+                .f64("highk_fraction", d.highk_fraction)
+                .f64("div_residual", d.div_residual)
+        });
+        d
+    }
+
+    /// Convenience for owners without borrow conflicts: advance by `n`
+    /// and, when due, measure and emit in one call.
+    pub fn tick(&mut self, n: u64, ux: &Tensor, uy: &Tensor) -> Option<PhysicsDiagnostics> {
+        if self.advance(n) {
+            Some(self.emit(ux, uy))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn smooth_solenoidal(n: usize) -> (Tensor, Tensor) {
+        // u = (sin y·k, sin x·k): divergence-free analytically and nearly
+        // so under the centered stencil.
+        let k = 2.0;
+        let ux = Tensor::from_fn(&[n, n], |i| (2.0 * PI * k * i[0] as f64 / n as f64).sin());
+        let uy = Tensor::from_fn(&[n, n], |i| (2.0 * PI * k * i[1] as f64 / n as f64).sin());
+        (ux, uy)
+    }
+
+    #[test]
+    fn smooth_field_measures_physically() {
+        let (ux, uy) = smooth_solenoidal(32);
+        let d = PhysicsDiagnostics::measure(&ux, &uy);
+        assert!(d.total_energy > 0.0);
+        assert!(d.enstrophy > 0.0);
+        assert!(d.mean_vorticity.abs() < 1e-12, "periodic box conserves mean vorticity");
+        assert!(d.highk_fraction < 1e-10, "low-k field has no spectral tail");
+        assert!(d.div_residual < 1e-6, "solenoidal field: {}", d.div_residual);
+    }
+
+    #[test]
+    fn noise_raises_tail_and_divergence() {
+        let (ux, uy) = smooth_solenoidal(32);
+        // A k=13 x-mode on ux: lands in the top third of shells (cut is
+        // k=10 at n=32) and has nonzero ∂u_x/∂x, so both the spectral
+        // tail and the divergence residual must react.
+        let noisy_ux = Tensor::from_fn(&[32, 32], |i| {
+            ux.at(&[i[0], i[1]]) + 0.5 * (2.0 * PI * 13.0 * i[1] as f64 / 32.0).sin()
+        });
+        let clean = PhysicsDiagnostics::measure(&ux, &uy);
+        let noisy = PhysicsDiagnostics::measure(&noisy_ux, &uy);
+        assert!(noisy.highk_fraction > clean.highk_fraction + 0.1);
+        assert!(noisy.div_residual > 10.0 * clean.div_residual.max(1e-15));
+    }
+
+    // One test owns all toggling of the process-global enabled flag so
+    // parallel test threads never observe a mid-test flip.
+    #[test]
+    fn probe_cadence_and_gating() {
+        let (ux, uy) = smooth_solenoidal(16);
+        // Disabled: never due.
+        ft_obs::set_enabled(false);
+        let mut p = DiagnosticsProbe::new("test", 2);
+        assert!(p.tick(10, &ux, &uy).is_none());
+        // Enabled: due once per cadence crossing.
+        ft_obs::set_enabled(true);
+        let mut p = DiagnosticsProbe::new("test", 3);
+        let fired: Vec<bool> = (0..9).map(|_| p.tick(1, &ux, &uy).is_some()).collect();
+        assert_eq!(fired.iter().filter(|f| **f).count(), 3);
+        // A large jump emits once, not once per missed interval.
+        let mut p = DiagnosticsProbe::new("test", 2).with_tag(7);
+        assert!(p.tick(100, &ux, &uy).is_some());
+        assert!(p.tick(1, &ux, &uy).is_none());
+        // Zero cadence is permanently inert even while enabled.
+        let mut p = DiagnosticsProbe::new("test", 0);
+        assert!(p.tick(1000, &ux, &uy).is_none());
+        ft_obs::set_enabled(false);
+    }
+}

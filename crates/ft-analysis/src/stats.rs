@@ -69,7 +69,8 @@ pub fn normalize_by_initial(traj: &Tensor) -> Tensor {
 
 // Centered periodic differences, duplicated from ft-lbm::fields to keep this
 // crate free of a solver dependency (the stencil is four lines either way).
-fn ft_vorticity(ux: &Tensor, uy: &Tensor) -> Tensor {
+// Shared with the live diagnostics probe (`crate::probe`).
+pub(crate) fn ft_vorticity(ux: &Tensor, uy: &Tensor) -> Tensor {
     let (ny, nx) = (ux.dims()[0], ux.dims()[1]);
     let (uxd, uyd) = (ux.data(), uy.data());
     Tensor::from_fn(&[ny, nx], |i| {
@@ -82,7 +83,7 @@ fn ft_vorticity(ux: &Tensor, uy: &Tensor) -> Tensor {
     })
 }
 
-fn ft_divergence(ux: &Tensor, uy: &Tensor) -> Tensor {
+pub(crate) fn ft_divergence(ux: &Tensor, uy: &Tensor) -> Tensor {
     let (ny, nx) = (ux.dims()[0], ux.dims()[1]);
     let (uxd, uyd) = (ux.data(), uy.data());
     Tensor::from_fn(&[ny, nx], |i| {

@@ -1,5 +1,6 @@
 //! Ensemble generation: random ICs → burn-in → sampled trajectories.
 
+use ft_analysis::DiagnosticsProbe;
 use ft_lbm::{vorticity, IcSpec, Lbm, LbmConfig};
 use ft_ns::{ArakawaNs, PdeSolver, SpectralNs};
 use ft_tensor::Tensor;
@@ -42,6 +43,11 @@ pub struct DatasetConfig {
     pub solver: SolverKind,
     /// Base RNG seed; sample `s` uses `seed + s`.
     pub seed: u64,
+    /// Emit a `physics` diagnostics record every this many solver steps
+    /// per trajectory (`0`, the default, disables probing). Only active
+    /// while `ft-obs` instrumentation is enabled; records are tagged with
+    /// the sample index.
+    pub probe_every: usize,
 }
 
 impl DatasetConfig {
@@ -59,6 +65,7 @@ impl DatasetConfig {
             ic: IcSpec::default(),
             solver: SolverKind::SpectralNs,
             seed: 0,
+            probe_every: 0,
         }
     }
 
@@ -75,6 +82,7 @@ impl DatasetConfig {
             ic: IcSpec::default(),
             solver: SolverKind::EntropicLbm,
             seed: 0,
+            probe_every: 0,
         }
     }
 }
@@ -199,6 +207,12 @@ fn generate_trajectory(config: &DatasetConfig, seed: u64) -> Result<Tensor, Stri
             let (ux0, uy0) = config.ic.generate(n, cfg.u0, seed);
             let mut lbm = Lbm::new(cfg.clone());
             lbm.set_velocity(&ux0, &uy0);
+            if config.probe_every > 0 {
+                lbm.set_probe(
+                    DiagnosticsProbe::new("lbm", config.probe_every as u64)
+                        .with_tag(seed - config.seed),
+                );
+            }
 
             // Burn-in, then reset time and sample.
             let burn_steps = (config.burn_in_tc * cfg.t_c()).round() as usize;
@@ -217,10 +231,22 @@ fn generate_trajectory(config: &DatasetConfig, seed: u64) -> Result<Tensor, Stri
         }
         SolverKind::SpectralNs => {
             let mut ns = SpectralNs::new(n, n as f64, ns_viscosity(config));
+            if config.probe_every > 0 {
+                ns.set_probe(
+                    DiagnosticsProbe::new("ns.spectral", config.probe_every as u64)
+                        .with_tag(seed - config.seed),
+                );
+            }
             run_ns_protocol(&mut ns, config, seed, |s| s.cfl_dt())
         }
         SolverKind::ArakawaFd => {
             let mut ns = ArakawaNs::new(n, n as f64, ns_viscosity(config));
+            if config.probe_every > 0 {
+                ns.set_probe(
+                    DiagnosticsProbe::new("ns.arakawa", config.probe_every as u64)
+                        .with_tag(seed - config.seed),
+                );
+            }
             run_ns_protocol(&mut ns, config, seed, |s| s.cfl_dt())
         }
     }

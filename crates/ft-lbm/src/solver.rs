@@ -14,6 +14,10 @@ static LBM_SITE_UPDATES: ft_obs::Counter = ft_obs::Counter::new("lbm.site_update
 /// Million lattice updates per second achieved by the most recent
 /// [`Lbm::run`] call — the standard LBM throughput figure.
 static LBM_MLUPS: ft_obs::Gauge = ft_obs::Gauge::new("lbm.mlups");
+/// Distribution of individual collide-stream step durations. The MLUPS
+/// gauge averages a whole run; this catches the p99/max tail (allocator
+/// stalls, thread-pool contention) a mean hides.
+static LBM_STEP_SECONDS: ft_obs::Histogram = ft_obs::Histogram::new("lbm.step_seconds");
 
 /// Structured failure of an LBM integration. Raised by [`Lbm::try_run`]
 /// instead of letting NaN populations propagate into sampled fields.
@@ -108,6 +112,8 @@ pub struct Lbm {
     steps: u64,
     /// Optional body force (Guo scheme).
     force: Option<BodyForce>,
+    /// Optional live physics probe, ticked by [`Lbm::try_run`].
+    probe: Option<ft_analysis::DiagnosticsProbe>,
 }
 
 impl Lbm {
@@ -120,7 +126,13 @@ impl Lbm {
             f[i * plane..(i + 1) * plane].iter_mut().for_each(|v| *v = w);
         }
         let scratch = vec![0.0; D2Q9::Q * plane];
-        Lbm { cfg, f, scratch, steps: 0, force: None }
+        Lbm { cfg, f, scratch, steps: 0, force: None, probe: None }
+    }
+
+    /// Attaches a [`ft_analysis::DiagnosticsProbe`]; [`Lbm::try_run`]
+    /// ticks it and emits `physics` records at its cadence.
+    pub fn set_probe(&mut self, probe: ft_analysis::DiagnosticsProbe) {
+        self.probe = Some(probe);
     }
 
     /// Installs a stationary body force (Guo forcing scheme) — the
@@ -217,8 +229,18 @@ impl Lbm {
     pub fn run(&mut self, k: usize) {
         let _span = ft_obs::span("lbm.run");
         let timer = ft_obs::enabled().then(std::time::Instant::now);
-        for _ in 0..k {
-            self.step();
+        if timer.is_some() {
+            // Instrumented path: additionally time each collide-stream
+            // step into the `lbm.step_seconds` distribution.
+            for _ in 0..k {
+                let t0 = std::time::Instant::now();
+                self.step();
+                LBM_STEP_SECONDS.observe(t0.elapsed().as_secs_f64());
+            }
+        } else {
+            for _ in 0..k {
+                self.step();
+            }
         }
         if let Some(t0) = timer {
             let sites = (k * self.cfg.n * self.cfg.n) as u64;
@@ -247,7 +269,10 @@ impl Lbm {
 
     /// Advances by `k` steps, probing the state every `check_every` steps
     /// and stopping with [`SolverError::BlowUp`] instead of letting a
-    /// non-finite field propagate into sampled datasets.
+    /// non-finite field propagate into sampled datasets. A blow-up is
+    /// recorded in the `ft-obs` flight recorder and triggers a dump; an
+    /// attached [`ft_analysis::DiagnosticsProbe`] is ticked after every
+    /// guarded chunk.
     pub fn try_run(&mut self, k: usize, check_every: usize) -> Result<(), SolverError> {
         let chunk = check_every.max(1);
         let mut done = 0usize;
@@ -255,8 +280,24 @@ impl Lbm {
             let m = chunk.min(k - done);
             self.run(m);
             done += m;
-            self.check_finite()
-                .map_err(|field| SolverError::BlowUp { step: self.steps, field })?;
+            if let Err(field) = self.check_finite() {
+                let step = self.steps;
+                ft_obs::flight::event_with(|| {
+                    ft_obs::Record::new("event")
+                        .str("kind", "solver_blowup")
+                        .str("source", "lbm")
+                        .u64("step", step)
+                        .str("field", field)
+                });
+                let _ = ft_obs::flight::dump("solver_blowup");
+                return Err(SolverError::BlowUp { step, field });
+            }
+            if self.probe.as_mut().is_some_and(|p| p.advance(m as u64)) {
+                let (ux, uy) = self.velocity();
+                if let Some(p) = self.probe.as_mut() {
+                    p.emit(&ux, &uy);
+                }
+            }
         }
         Ok(())
     }

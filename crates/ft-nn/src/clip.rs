@@ -4,17 +4,28 @@
 use crate::param::ParamMut;
 use crate::Layer;
 
+/// Distribution of per-parameter-tensor gradient norms (every weight and
+/// bias contributes one sample per [`global_grad_norm`] call). A fattening
+/// p99 localizes which scale of exploding gradients the clipper is
+/// fighting, where the global norm alone cannot.
+static LAYER_GRAD_NORM: ft_obs::Histogram = ft_obs::Histogram::new("nn.layer_grad_norm");
+
 /// Euclidean norm of all gradients in the model (complex entries contribute
-/// both components).
+/// both components). While `ft-obs` instrumentation is enabled, each
+/// parameter tensor's own norm is also recorded into the
+/// `nn.layer_grad_norm` histogram.
 pub fn global_grad_norm(model: &mut dyn Layer) -> f64 {
+    let observe = ft_obs::enabled();
     let mut acc = 0.0;
-    model.visit_params(&mut |p| match p {
-        ParamMut::Real { grad, .. } => {
-            acc += grad.data().iter().map(|g| g * g).sum::<f64>();
+    model.visit_params(&mut |p| {
+        let sq = match p {
+            ParamMut::Real { grad, .. } => grad.data().iter().map(|g| g * g).sum::<f64>(),
+            ParamMut::Complex { grad, .. } => grad.data().iter().map(|g| g.norm_sqr()).sum::<f64>(),
+        };
+        if observe {
+            LAYER_GRAD_NORM.observe(sq.sqrt());
         }
-        ParamMut::Complex { grad, .. } => {
-            acc += grad.data().iter().map(|g| g.norm_sqr()).sum::<f64>();
-        }
+        acc += sq;
     });
     acc.sqrt()
 }

@@ -24,6 +24,8 @@ pub struct ArakawaNs {
     omega: Tensor,
     time: f64,
     steps: u64,
+    /// Optional live physics probe, ticked by guarded advances.
+    probe: Option<ft_analysis::DiagnosticsProbe>,
 }
 
 impl ArakawaNs {
@@ -37,7 +39,15 @@ impl ArakawaNs {
             omega: Tensor::zeros(&[n, n]),
             time: 0.0,
             steps: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches a [`ft_analysis::DiagnosticsProbe`]; guarded advances
+    /// ([`PdeSolver::try_advance`]) tick it and emit `physics` records at
+    /// its cadence.
+    pub fn set_probe(&mut self, probe: ft_analysis::DiagnosticsProbe) {
+        self.probe = Some(probe);
     }
 
     /// The underlying grid.
@@ -195,9 +205,7 @@ impl PdeSolver for ArakawaNs {
     fn advance(&mut self, dt: f64, steps: usize) {
         let _span = ft_obs::span("ns.arakawa.advance");
         let timer = ft_obs::enabled().then(std::time::Instant::now);
-        for _ in 0..steps {
-            self.step(dt);
-        }
+        crate::run_steps(steps, || self.step(dt));
         if let Some(t0) = timer {
             crate::record_advance(steps, t0.elapsed().as_secs_f64(), &crate::NS_ARAKAWA_STEPS_PER_SEC);
         }
@@ -209,6 +217,10 @@ impl PdeSolver for ArakawaNs {
 
     fn steps_taken(&self) -> u64 {
         self.steps
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut ft_analysis::DiagnosticsProbe> {
+        self.probe.as_mut()
     }
 
     fn check_finite(&self) -> Result<(), &'static str> {

@@ -34,6 +34,7 @@ pub use forcing::Forcing;
 pub use grid::SpectralGrid;
 pub use spectral::SpectralNs;
 
+use ft_analysis::DiagnosticsProbe;
 use ft_tensor::Tensor;
 
 /// Structured failure of a PDE integration. Solvers raise this instead of
@@ -83,9 +84,19 @@ pub trait PdeSolver {
     /// a sparse sample detects a blow-up at most a few steps late.
     fn check_finite(&self) -> Result<(), &'static str>;
 
+    /// Mutable access to an attached [`DiagnosticsProbe`], if any.
+    /// Solvers that support live physics diagnostics override this (see
+    /// `SpectralNs::set_probe` / `ArakawaNs::set_probe`); the default is
+    /// probe-less.
+    fn probe_mut(&mut self) -> Option<&mut DiagnosticsProbe> {
+        None
+    }
+
     /// Advances like [`PdeSolver::advance`] but probes the state every
     /// `check_every` steps, stopping with [`SolverError::BlowUp`] instead
-    /// of returning non-finite fields.
+    /// of returning non-finite fields. A blow-up is recorded in the
+    /// `ft-obs` flight recorder and triggers a dump; an attached
+    /// [`DiagnosticsProbe`] is ticked after every guarded chunk.
     fn try_advance(
         &mut self,
         dt: f64,
@@ -98,16 +109,63 @@ pub trait PdeSolver {
             let k = chunk.min(steps - done);
             self.advance(dt, k);
             done += k;
-            self.check_finite()
-                .map_err(|field| SolverError::BlowUp { step: self.steps_taken(), field })?;
+            if let Err(field) = self.check_finite() {
+                let step = self.steps_taken();
+                report_blowup("ns", step, field);
+                return Err(SolverError::BlowUp { step, field });
+            }
+            // Two-phase tick: `probe_mut` and `velocity` both borrow
+            // `self`, so decide due-ness first, then extract and emit.
+            if self.probe_mut().is_some_and(|p| p.advance(k as u64)) {
+                let (ux, uy) = self.velocity();
+                if let Some(p) = self.probe_mut() {
+                    p.emit(&ux, &uy);
+                }
+            }
         }
         Ok(())
     }
 }
 
+/// Records a `solver_blowup` event in the flight recorder and dumps the
+/// ring — a blow-up is exactly the anomaly the recorder exists for. No-op
+/// while instrumentation is disabled. Shared by the guarded entry points
+/// here and in `ft-lbm`/`fno-core`.
+pub fn report_blowup(source: &str, step: u64, field: &str) {
+    ft_obs::flight::event_with(|| {
+        ft_obs::Record::new("event")
+            .str("kind", "solver_blowup")
+            .str("source", source)
+            .u64("step", step)
+            .str("field", field)
+    });
+    let _ = ft_obs::flight::dump("solver_blowup");
+}
+
 /// Time steps integrated by any [`PdeSolver::advance`] in the process;
 /// ticks only while `ft-obs` instrumentation is enabled.
 static NS_STEPS: ft_obs::Counter = ft_obs::Counter::new("ns.steps");
+/// Distribution of individual time-step durations across both NS solvers
+/// (per-solver split is visible in the `*.steps_per_sec` gauges; the
+/// histogram's job is the p99/max tail, which a mean rate hides).
+static NS_STEP_SECONDS: ft_obs::Histogram = ft_obs::Histogram::new("ns.step_seconds");
+
+/// Runs `steps` iterations of `step`, timing each one into
+/// [`NS_STEP_SECONDS`] while instrumentation is enabled (and not reading
+/// the clock at all otherwise). Shared by both `PdeSolver` impls.
+pub(crate) fn run_steps(steps: usize, mut step: impl FnMut()) {
+    if ft_obs::enabled() {
+        for _ in 0..steps {
+            let t0 = std::time::Instant::now();
+            step();
+            NS_STEP_SECONDS.observe(t0.elapsed().as_secs_f64());
+        }
+    } else {
+        for _ in 0..steps {
+            step();
+        }
+    }
+}
 /// Steps/second achieved by the most recent [`SpectralNs`] advance.
 static NS_SPECTRAL_STEPS_PER_SEC: ft_obs::Gauge = ft_obs::Gauge::new("ns.spectral.steps_per_sec");
 /// Steps/second achieved by the most recent [`ArakawaNs`] advance.

@@ -25,6 +25,8 @@ pub struct SpectralNs {
     drag: f64,
     /// 2/3-rule dealiasing toggle (on by default; off only for ablation).
     dealias: bool,
+    /// Optional live physics probe, ticked by guarded advances.
+    probe: Option<ft_analysis::DiagnosticsProbe>,
 }
 
 impl SpectralNs {
@@ -41,7 +43,15 @@ impl SpectralNs {
             forcing_hat: None,
             drag: 0.0,
             dealias: true,
+            probe: None,
         }
+    }
+
+    /// Attaches a [`ft_analysis::DiagnosticsProbe`]; guarded advances
+    /// ([`PdeSolver::try_advance`]) tick it and emit `physics` records at
+    /// its cadence.
+    pub fn set_probe(&mut self, probe: ft_analysis::DiagnosticsProbe) {
+        self.probe = Some(probe);
     }
 
     /// Enables or disables the 2/3-rule dealiasing of the nonlinear term.
@@ -206,9 +216,7 @@ impl PdeSolver for SpectralNs {
     fn advance(&mut self, dt: f64, steps: usize) {
         let _span = ft_obs::span("ns.spectral.advance");
         let timer = ft_obs::enabled().then(std::time::Instant::now);
-        for _ in 0..steps {
-            self.step(dt);
-        }
+        crate::run_steps(steps, || self.step(dt));
         if let Some(t0) = timer {
             crate::record_advance(steps, t0.elapsed().as_secs_f64(), &crate::NS_SPECTRAL_STEPS_PER_SEC);
         }
@@ -220,6 +228,10 @@ impl PdeSolver for SpectralNs {
 
     fn steps_taken(&self) -> u64 {
         self.steps
+    }
+
+    fn probe_mut(&mut self) -> Option<&mut ft_analysis::DiagnosticsProbe> {
+        self.probe.as_mut()
     }
 
     fn check_finite(&self) -> Result<(), &'static str> {

@@ -20,9 +20,17 @@
 //!   "spans": [
 //!     { "path": "train/epoch", "count": 20,
 //!       "total_ms": 12011.0, "mean_ms": 600.6 }
-//!   ]
+//!   ],
+//!   "histograms": {
+//!     "train.batch_loss": { "count": 640, "mean": 0.31,
+//!       "p50": 0.28, "p90": 0.55, "p99": 1.1, "max": 1.73 }
+//!   }
 //! }
 //! ```
+//!
+//! The `histograms` section was added after the first `bench-v1` files
+//! shipped; consumers ignore unknown keys, so it is an additive (schema
+//! suffix unchanged) extension.
 //!
 //! The `schema` field is the compatibility contract: consumers must
 //! ignore unknown keys, and any breaking change bumps the suffix. The
@@ -35,6 +43,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
+use crate::hist::histogram_snapshot;
 use crate::metrics::{counter_snapshot, gauge_snapshot};
 use crate::sink::{encode_str, Record};
 use crate::span;
@@ -136,7 +145,31 @@ fn render(kind: &str, name: &str, wall_seconds: f64, records: &[Record]) -> Stri
     if !spans.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}\n");
+    out.push_str("],\n");
+
+    out.push_str("  \"histograms\": {");
+    let hists = histogram_snapshot();
+    let fin = |v: f64| if v.is_finite() { v.to_string() } else { "null".to_string() };
+    for (i, (n, s)) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        encode_str(n, &mut out);
+        out.push_str(&format!(
+            ": {{ \"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }}",
+            s.count,
+            fin(s.mean),
+            fin(s.p50),
+            fin(s.p90),
+            fin(s.p99),
+            fin(s.max)
+        ));
+    }
+    if !hists.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
     out
 }
 
@@ -172,7 +205,8 @@ mod tests {
         assert!(s.contains("\"kind\": \"train\""));
         assert!(s.contains("\"wall_seconds\": 1.25"));
         assert!(s.contains(r#"{"record":"train_epoch","epoch":0,"loss":0.5}"#));
-        assert!(s.ends_with("]\n}\n"));
+        assert!(s.contains("\"histograms\": {"));
+        assert!(s.ends_with("}\n}\n") || s.ends_with("{}\n}\n"));
         // Balanced braces/brackets — a cheap structural validity check.
         let open = s.matches('{').count();
         let close = s.matches('}').count();

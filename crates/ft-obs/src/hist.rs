@@ -1,0 +1,287 @@
+//! Lock-free, log-bucketed distribution metrics.
+//!
+//! A [`Histogram`] is declared as a `static` at the instrumentation site,
+//! exactly like [`crate::Counter`], and records `f64` samples into
+//! logarithmically spaced buckets using only relaxed atomic operations —
+//! no locks on the hot path, so concurrent rayon workers never contend.
+//! Percentiles come from a bucket walk at snapshot time, which makes
+//! [`Histogram::observe`] O(1) regardless of how many samples were seen.
+//!
+//! # Bucket layout
+//!
+//! Positive samples land in one of [`SUB_PER_OCTAVE`] sub-buckets per
+//! power-of-two octave, spanning 2⁻³² … 2³², giving a worst-case relative
+//! quantile error of `1/SUB_PER_OCTAVE` (±12.5 % at 8 sub-buckets) over 19
+//! decades — plenty for loss values, gradient norms and step times alike.
+//! Non-positive and sub-2⁻³² samples fall into the underflow bucket (index
+//! 0, reported as `0.0`); samples ≥ 2³² clamp into the top bucket. NaN
+//! counts as underflow rather than poisoning the distribution; the exact
+//! maximum is tracked separately and is not subject to bucket resolution.
+//!
+//! ```
+//! static BATCH_LOSS: ft_obs::Histogram = ft_obs::Histogram::new("train.batch_loss");
+//!
+//! ft_obs::set_enabled(true);
+//! for v in [0.5, 1.0, 2.0] {
+//!     BATCH_LOSS.observe(v);
+//! }
+//! let snap = BATCH_LOSS.snapshot();
+//! assert_eq!(snap.count, 3);
+//! assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
+//! # ft_obs::set_enabled(false);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sub-buckets per power-of-two octave (8 → ±12.5 % quantile resolution).
+pub const SUB_PER_OCTAVE: usize = 8;
+/// Smallest resolved octave exponent: samples below 2⁻³² underflow.
+const MIN_EXP: i32 = -32;
+/// Largest resolved octave exponent: samples at or above 2³² clamp.
+const MAX_EXP: i32 = 31;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Total buckets: underflow + resolved range + overflow.
+const BUCKETS: usize = OCTAVES * SUB_PER_OCTAVE + 2;
+
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// A named, lock-free distribution metric with log-spaced buckets.
+///
+/// Like [`crate::Counter`], it is `const`-constructible, registers itself
+/// in a global registry the first time it is touched while enabled, and is
+/// a no-op (one relaxed load + branch, no allocation) while
+/// instrumentation is disabled.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+    /// Running maximum, stored as `f64` bits and updated by CAS.
+    max_bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+/// A point-in-time summary of a [`Histogram`]: sample count, mean,
+/// quantiles (p50/p90/p99) and the exact maximum.
+///
+/// Quantiles are bucket representatives (geometric mid-points), so they
+/// carry the layout's relative error; `max` is exact. An empty histogram
+/// snapshots as all zeros.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Arithmetic mean of all samples.
+    pub mean: f64,
+    /// Median (bucket representative).
+    pub p50: f64,
+    /// 90th percentile (bucket representative).
+    pub p90: f64,
+    /// 99th percentile (bucket representative).
+    pub p99: f64,
+    /// Exact largest sample.
+    pub max: f64,
+}
+
+impl Histogram {
+    /// A histogram named `name`, initially empty. `const` so it can back a
+    /// `static` at the instrumentation site.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            // f64::NEG_INFINITY bits; replaced by the first real sample.
+            max_bits: AtomicU64::new(0xfff0_0000_0000_0000),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample. No-op (one load + branch) while instrumentation
+    /// is disabled; lock-free (relaxed atomics + CAS) when enabled.
+    #[inline]
+    pub fn observe(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loops: both values are monotone under the f64 comparison, so
+        // concurrent updates converge without locks.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + if v.is_finite() { v } else { 0.0 }).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the current distribution. Concurrent `observe` calls may
+    /// be partially visible (the snapshot is not a consistent cut), which
+    /// is fine for monitoring.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot { count: 0, mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        // The bucket counts may trail `count` if an observe is mid-flight;
+        // use their own total so quantile ranks stay consistent.
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> f64 {
+            if total == 0 {
+                return 0.0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cum = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    return bucket_value(i);
+                }
+            }
+            bucket_value(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            mean: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) / count as f64,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.max_bits.store(0xfff0_0000_0000_0000, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed)
+            && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            HISTOGRAMS.lock().unwrap().push(self);
+        }
+    }
+}
+
+/// Maps a sample to its bucket index: 0 for non-positive/NaN/underflow,
+/// `BUCKETS-1` for overflow, otherwise 1 + octave·SUB + mantissa-high-bits.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < f64::MIN_POSITIVE {
+        // Catches 0, negatives, NaN and subnormals (whose exponent field
+        // is 0 and would alias octave -1023).
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    // Top SUB_PER_OCTAVE.log2() mantissa bits select the sub-bucket.
+    let sub = ((bits >> (52 - SUB_PER_OCTAVE.trailing_zeros())) & (SUB_PER_OCTAVE as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUB_PER_OCTAVE + sub
+}
+
+/// Representative value of a bucket: the geometric mid-point of its range
+/// (0 for underflow, the lower edge of the first unrepresentable octave
+/// for overflow).
+fn bucket_value(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    if index == BUCKETS - 1 {
+        return (2.0f64).powi(MAX_EXP + 1);
+    }
+    let i = index - 1;
+    let exp = MIN_EXP + (i / SUB_PER_OCTAVE) as i32;
+    let sub = (i % SUB_PER_OCTAVE) as f64;
+    (2.0f64).powi(exp) * (1.0 + (sub + 0.5) / SUB_PER_OCTAVE as f64)
+}
+
+/// `(name, snapshot)` of every histogram touched so far, sorted by name.
+pub fn histogram_snapshot() -> Vec<(&'static str, HistogramSnapshot)> {
+    let mut v: Vec<(&'static str, HistogramSnapshot)> = HISTOGRAMS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| (h.name, h.snapshot()))
+        .collect();
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+/// Empties every registered histogram (registration is kept).
+pub fn reset() {
+    for h in HISTOGRAMS.lock().unwrap().iter() {
+        h.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        let mut v = 1e-12;
+        while v < 1e12 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "bucket index must not decrease: {v}");
+            assert!(i < BUCKETS);
+            prev = i;
+            v *= 1.07;
+        }
+    }
+
+    #[test]
+    fn bucket_value_brackets_the_sample() {
+        for v in [1e-9, 0.003, 0.5, 1.0, 1.5, 7.0, 42.0, 1e6] {
+            let rep = bucket_value(bucket_index(v));
+            assert!(rep > 0.5 * v && rep < 2.0 * v, "representative {rep} far from {v}");
+        }
+    }
+
+    #[test]
+    fn special_values_route_to_edge_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        assert_eq!(bucket_index(1e300), BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+}

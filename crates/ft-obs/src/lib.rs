@@ -50,10 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod compare;
+pub mod flight;
+pub mod hist;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use sink::{
     close_jsonl, emit, emit_with, open_jsonl, sink_open, JsonValue, Record,
@@ -77,21 +81,23 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears all span aggregates and zeroes every registered counter and
-/// gauge. Intended for tests and for binaries that emit several
-/// independent `BENCH_*.json` snapshots in one process.
+/// Clears all span aggregates, zeroes every registered counter and gauge,
+/// and empties every histogram. Intended for tests and for binaries that
+/// emit several independent `BENCH_*.json` snapshots in one process.
 pub fn reset() {
     span::reset();
     metrics::reset();
+    hist::reset();
 }
 
 /// Renders a human-readable profile: the span tree followed by all
-/// non-zero counters and gauges. The CLI prints this on exit under
-/// `--profile`.
+/// non-zero counters, gauges and histograms. The CLI prints this on exit
+/// under `--profile`.
 pub fn profile_report() -> String {
     let mut out = span::report();
     let counters = metrics::counter_snapshot();
     let gauges = metrics::gauge_snapshot();
+    let hists = hist::histogram_snapshot();
     if !counters.is_empty() {
         out.push_str("\ncounters:\n");
         for (name, v) in counters {
@@ -102,6 +108,15 @@ pub fn profile_report() -> String {
         out.push_str("\ngauges:\n");
         for (name, v) in gauges {
             out.push_str(&format!("  {name} = {v:.6}\n"));
+        }
+    }
+    if !hists.is_empty() {
+        out.push_str("\nhistograms:\n");
+        for (name, s) in hists {
+            out.push_str(&format!(
+                "  {name}: count={} mean={:.6} p50={:.6} p90={:.6} p99={:.6} max={:.6}\n",
+                s.count, s.mean, s.p50, s.p90, s.p99, s.max
+            ));
         }
     }
     out

@@ -145,9 +145,16 @@ impl Record {
 static SINK_OPEN: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
 
-/// Opens (truncating) `path` as the process-global JSONL sink. Subsequent
-/// [`emit`] calls append one JSON object per line.
+/// Opens (truncating) `path` as the process-global JSONL sink, creating
+/// missing parent directories. Subsequent [`emit`] calls append one JSON
+/// object per line.
 pub fn open_jsonl(path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let f = File::create(path)?;
     *SINK.lock().unwrap() = Some(BufWriter::new(f));
     SINK_OPEN.store(true, Ordering::Release);

@@ -37,10 +37,12 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 static HOT_COUNTER: ft_obs::Counter = ft_obs::Counter::new("noalloc.counter");
 static HOT_GAUGE: ft_obs::Gauge = ft_obs::Gauge::new("noalloc.gauge");
+static HOT_HIST: ft_obs::Histogram = ft_obs::Histogram::new("noalloc.hist");
 
 /// Simulates the instrumentation sequence of one trainer step with
 /// observability disabled: spans around forward/backward, counters for
-/// throughput, a gauge, and a (conditionally built) sink record.
+/// throughput, a gauge, a histogram sample, a flight-recorder event, and
+/// a (conditionally built) sink record.
 fn instrumented_step(i: u64) {
     let _step = ft_obs::span("step");
     {
@@ -50,7 +52,9 @@ fn instrumented_step(i: u64) {
     {
         let _bwd = ft_obs::span("backward");
         HOT_GAUGE.set(i as f64);
+        HOT_HIST.observe(i as f64);
     }
+    ft_obs::flight::event_with(|| ft_obs::Record::new("event").str("kind", "noalloc").u64("i", i));
     ft_obs::emit_with(|| ft_obs::Record::new("step").u64("i", i));
 }
 
@@ -76,5 +80,7 @@ fn disabled_instrumentation_allocates_nothing() {
     // And none of it recorded anything.
     assert_eq!(HOT_COUNTER.get(), 0);
     assert_eq!(HOT_GAUGE.get(), 0.0);
+    assert_eq!(HOT_HIST.snapshot().count, 0);
+    assert_eq!(ft_obs::flight::event_count(), 0);
     assert!(!ft_obs::span::stats().iter().any(|(p, _)| p == "step"));
 }

@@ -28,4 +28,22 @@ fi
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 
+# Smoke benchmark: a seconds-scale generate+train writing BENCH_tier1.json
+# at the repo root, gated against the committed baseline. Counters are
+# deterministic for the fixed seed/config; timings use the loose one-sided
+# tolerance of `bench_compare` so only a >4x slowdown fails the gate.
+echo "==> smoke benchmark (BENCH_tier1.json)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/fno2dturb generate --out "$SMOKE_DIR/data.ftt" \
+    --grid 16 --samples 2 --snapshots 20 --reynolds 500 --seed 1 \
+    --metrics-out "$SMOKE_DIR/generate.jsonl" --bench-out "$SMOKE_DIR/BENCH_gen.json"
+./target/release/fno2dturb train --data "$SMOKE_DIR/data.ftt" \
+    --model "$SMOKE_DIR/model.fnc" --width 4 --layers 2 --modes 4 \
+    --out-channels 2 --epochs 2 --batch 4 --probe-every 1 \
+    --metrics-out "$SMOKE_DIR/train.jsonl" --bench-out BENCH_tier1.json
+
+echo "==> bench_compare gate (BENCH_baseline.json vs BENCH_tier1.json)"
+./target/release/bench_compare BENCH_baseline.json BENCH_tier1.json
+
 echo "CI OK"

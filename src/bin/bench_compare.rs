@@ -1,0 +1,83 @@
+//! `bench_compare` — regression gate over two `ft-obs/bench-v1` files.
+//!
+//! ```text
+//! bench_compare baseline.json candidate.json [--counter-tol X]
+//!               [--timing-tol X] [--value-tol X] [--tol METRIC=X]...
+//! ```
+//!
+//! Compares every metric of the candidate BENCH file against the baseline
+//! using per-class relative tolerances (see `ft_obs::compare`): counters
+//! are two-sided and tight, timings and throughputs one-sided and loose
+//! (wall-clock noise across machines dwarfs real smoke-scale regressions),
+//! gauges two-sided. `--tol METRIC=X` pins an individual metric (use the
+//! flattened name printed in the table, e.g. `gauges.train.final_loss`).
+//!
+//! Exit status: 0 when every metric is within tolerance, 1 when at least
+//! one regressed, 2 for usage, I/O or parse errors — so CI can
+//! distinguish "the code got worse" from "the gate itself broke".
+
+use std::process::ExitCode;
+
+use ft_obs::compare::{compare, parse_bench_file, CompareConfig};
+
+const USAGE: &str = "usage:
+  bench_compare BASELINE.json CANDIDATE.json [options]
+
+options:
+  --counter-tol X    relative tolerance for counters (default 0.1)
+  --timing-tol X     slowdown tolerance for timings/throughputs (default 3.0)
+  --value-tol X      relative tolerance for gauges/values (default 1.0)
+  --tol METRIC=X     per-metric override (repeatable)
+
+exit status: 0 = within tolerance, 1 = regression, 2 = usage/parse error";
+
+fn next_f64(it: &mut std::slice::Iter<'_, String>, key: &str) -> Result<f64, String> {
+    let v = it.next().ok_or_else(|| format!("{key} needs a value"))?;
+    v.parse().map_err(|_| format!("{key}: cannot parse `{v}`"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--counter-tol" => cfg.counter_tol = next_f64(&mut it, "--counter-tol")?,
+            "--timing-tol" => cfg.timing_tol = next_f64(&mut it, "--timing-tol")?,
+            "--value-tol" => cfg.value_tol = next_f64(&mut it, "--value-tol")?,
+            "--tol" => {
+                let v = it.next().ok_or("--tol needs METRIC=X")?;
+                let (name, t) = v.split_once('=').ok_or("--tol wants METRIC=X")?;
+                let t: f64 = t.parse().map_err(|_| format!("--tol {v}: bad tolerance"))?;
+                cfg.overrides.push((name.to_string(), t));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(false);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            _ => files.push(a.clone()),
+        }
+    }
+    let [base_path, cand_path] = files.as_slice() else {
+        return Err("expected exactly two BENCH files".to_string());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let base = parse_bench_file(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
+    let cand = parse_bench_file(&read(cand_path)?).map_err(|e| format!("{cand_path}: {e}"))?;
+    let cmp = compare(&base, &cand, &cfg);
+    print!("{}", cmp.render());
+    Ok(cmp.regressed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

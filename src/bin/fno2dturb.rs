@@ -22,12 +22,16 @@
 //!
 //! Every command additionally accepts the observability options
 //! `--metrics-out FILE` (stream JSONL metric records — one `train_epoch`
-//! record per epoch during `train`) and `--profile` (print the aggregated
-//! span tree, counters and gauges to stderr on exit). Either option enables
+//! record per epoch during `train`, opened by a `run_manifest` record
+//! identifying the run) and `--profile` (print the aggregated span tree,
+//! counters, gauges and histograms to stderr on exit). Either option enables
 //! the `ft-obs` instrumentation; with both off the instrumented code paths
 //! cost a single atomic load. With instrumentation on, `train` also writes
 //! `BENCH_train.json` and `generate` writes `BENCH_solver.json`
-//! (`ft-obs/bench-v1` schema; override the path with `--bench-out FILE`).
+//! (`ft-obs/bench-v1` schema; override the path with `--bench-out FILE`),
+//! and `--probe-every N` streams `physics` diagnostics records — every N
+//! solver steps during `generate`, every N epochs (measuring the first
+//! held-out prediction) during `train`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -67,6 +71,17 @@ fn main() -> ExitCode {
             eprintln!("error: --metrics-out {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if ft_obs::enabled() {
+        // Open every metric stream with the run's identity; the manifest
+        // is also replayed as the first line of any flight-recorder dump.
+        let mut manifest = ft_obs::flight::run_manifest(&format!("fno2dturb-{command}"));
+        let mut keys: Vec<&String> = opts.keys().collect();
+        keys.sort();
+        for key in keys {
+            manifest = manifest.str(key, &opts[key]);
+        }
+        ft_obs::flight::set_manifest(manifest);
     }
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
@@ -109,9 +124,13 @@ const USAGE: &str = "usage:
                      [--members M] [--delta D]
 
 observability (any command):
-  --metrics-out FILE   stream JSONL metric records to FILE
-  --profile            print span/counter/gauge profile to stderr on exit
-  --bench-out FILE     override the BENCH_train.json / BENCH_solver.json path";
+  --metrics-out FILE   stream JSONL metric records to FILE (opens with a
+                       run_manifest record)
+  --profile            print span/counter/gauge/histogram profile to stderr
+                       on exit
+  --bench-out FILE     override the BENCH_train.json / BENCH_solver.json path
+  --probe-every N      generate/train: emit a `physics` record every N solver
+                       steps (generate) or epochs (train); 0 disables";
 
 type Opts = HashMap<String, String>;
 
@@ -153,6 +172,7 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let snapshots: usize = get(opts, "snapshots", 40)?;
     let reynolds: f64 = get(opts, "reynolds", 1000.0)?;
     let seed: u64 = get(opts, "seed", 0)?;
+    let probe_every: usize = get(opts, "probe-every", 0)?;
     let solver = match opts.get("solver").map(String::as_str).unwrap_or("spectral") {
         "spectral" => SolverKind::SpectralNs,
         "lbm" => SolverKind::EntropicLbm,
@@ -171,6 +191,7 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
         ic: IcSpec { k_min: 2, k_max: (grid / 6).clamp(3, 8) },
         solver,
         seed,
+        probe_every,
     };
     let start = std::time::Instant::now();
     let ds = TurbulenceDataset::generate(cfg);
@@ -211,6 +232,13 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     let batch: usize = get(opts, "batch", 8)?;
     let div_weight: f64 = get(opts, "div-weight", 0.0)?;
     let train_frac: f64 = get(opts, "train-frac", 0.8)?;
+    let probe_every: usize = get(opts, "probe-every", 0)?;
+    if probe_every > 0 && !out_channels.is_multiple_of(2) {
+        eprintln!(
+            "warning: --probe-every needs paired (ux, uy) output channels; \
+             --out-channels {out_channels} is odd, so no physics records will be emitted"
+        );
+    }
 
     let velocity = load_tensor(data).map_err(|e| e.to_string())?;
     if velocity.shape().rank() != 5 {
@@ -250,6 +278,7 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
         scheduler_step: 100,
         seed: 0,
         divergence_weight: div_weight,
+        probe_every,
         ..Default::default()
     };
     let mut trainer = Trainer::new(model, tcfg);
