@@ -19,13 +19,93 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Below this many items a terminal operation runs inline; thread spawn
 /// costs (~tens of µs) would dominate.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
 
-fn num_threads() -> usize {
+/// Global pool width set by [`ThreadPoolBuilder::build_global`];
+/// 0 means "not configured, use the machine's parallelism".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn machine_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+fn num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => machine_threads(),
+        n => n,
+    }
+}
+
+/// Number of worker threads terminal operations may fan out over —
+/// the configured global pool width, or the machine's parallelism when
+/// [`ThreadPoolBuilder::build_global`] was never called.
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
+/// Error returned when the global pool is configured twice.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the process-global worker pool, rayon-style.
+///
+/// The shim has no persistent pool threads; "building" the global pool
+/// simply fixes the fan-out width used by every subsequent terminal
+/// operation. Like rayon, the global pool can be initialized at most
+/// once — a second call fails with [`ThreadPoolBuildError`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; 0 keeps the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Errors if the global pool
+    /// was already initialized (by an earlier call).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { machine_threads() } else { self.num_threads };
+        GLOBAL_THREADS
+            .compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst)
+            .map(|_| ())
+            .map_err(|_| ThreadPoolBuildError {
+                msg: "the global thread pool has already been initialized",
+            })
+    }
+}
+
+/// Number of batches a workload of `n` items should split into: never
+/// more than the pool width, never so many that a batch drops below the
+/// caller's `with_min_len` hint, and 1 (inline, no spawns) for workloads
+/// too small to amortize thread-spawn latency.
+fn fanout(n: usize, min_len: usize) -> usize {
+    if n < MIN_PARALLEL_ITEMS.max(min_len) {
+        return 1;
+    }
+    num_threads().min(n / min_len.max(1)).max(1)
 }
 
 /// Splits `items` into at most `parts` contiguous batches, preserving order.
@@ -47,12 +127,13 @@ fn split_batches<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
 }
 
 /// Runs `f` over every item, splitting batches across scoped threads.
-fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
-    if items.len() < MIN_PARALLEL_ITEMS {
+fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, min_len: usize, f: F) {
+    let parts = fanout(items.len(), min_len);
+    if parts <= 1 {
         items.into_iter().for_each(f);
         return;
     }
-    let batches = split_batches(items, num_threads());
+    let batches = split_batches(items, parts);
     std::thread::scope(|s| {
         let f = &f;
         for batch in batches {
@@ -62,11 +143,16 @@ fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
 }
 
 /// Maps every item, preserving order, splitting batches across threads.
-fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
-    if items.len() < MIN_PARALLEL_ITEMS {
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(
+    items: Vec<T>,
+    min_len: usize,
+    f: F,
+) -> Vec<R> {
+    let parts = fanout(items.len(), min_len);
+    if parts <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let batches = split_batches(items, num_threads());
+    let batches = split_batches(items, parts);
     let mut out = Vec::new();
     std::thread::scope(|s| {
         let f = &f;
@@ -85,6 +171,7 @@ fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> 
 /// out over scoped threads.
 pub struct ParIter<I> {
     inner: I,
+    min_len: usize,
 }
 
 impl<I: Iterator> Iterator for ParIter<I> {
@@ -100,32 +187,40 @@ impl<I: Iterator> Iterator for ParIter<I> {
 impl<I: Iterator> ParIter<I> {
     /// Pairs every item with its index (parity with rayon's `enumerate`).
     pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter { inner: self.inner.enumerate() }
+        ParIter { inner: self.inner.enumerate(), min_len: self.min_len }
     }
 
     /// Zips with another (parallel or plain) iterator.
     pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
-        ParIter { inner: self.inner.zip(other) }
+        ParIter { inner: self.inner.zip(other), min_len: self.min_len }
     }
 
     /// Lazily maps items; the closure runs on worker threads at the
     /// terminal operation.
     pub fn map<R, F: Fn(I::Item) -> R>(self, f: F) -> ParMap<I, F> {
-        ParMap { inner: self.inner, f }
+        ParMap { inner: self.inner, f, min_len: self.min_len }
     }
 
-    /// Accepted for rayon parity; the shim ignores the hint.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Requires at least `min` items per worker batch before splitting,
+    /// matching rayon: workloads too small to amortize a spawn run inline.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
     /// Consumes the iterator, applying `f` to every item in parallel.
+    /// With a single-thread pool the items stream straight through the
+    /// iterator — no intermediate `Vec`, no scoped threads.
     pub fn for_each<F>(self, f: F)
     where
         I::Item: Send,
         F: Fn(I::Item) + Sync,
     {
-        parallel_for_each(self.inner.collect(), f);
+        if num_threads() == 1 {
+            self.inner.for_each(f);
+            return;
+        }
+        parallel_for_each(self.inner.collect(), self.min_len, f);
     }
 }
 
@@ -133,6 +228,7 @@ impl<I: Iterator> ParIter<I> {
 pub struct ParMap<I, F> {
     inner: I,
     f: F,
+    min_len: usize,
 }
 
 impl<I: Iterator, R, F: Fn(I::Item) -> R> Iterator for ParMap<I, F> {
@@ -150,7 +246,10 @@ impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
         R: Send,
         F: Sync,
     {
-        parallel_map(self.inner.collect(), self.f).into_iter().collect()
+        if num_threads() == 1 {
+            return self.inner.map(self.f).collect();
+        }
+        parallel_map(self.inner.collect(), self.min_len, self.f).into_iter().collect()
     }
 
     /// Applies the map and `f` in parallel over every item.
@@ -162,7 +261,11 @@ impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
         F: Sync,
     {
         let map = self.f;
-        parallel_for_each(self.inner.collect(), move |x| g(map(x)));
+        if num_threads() == 1 {
+            self.inner.for_each(move |x| g(map(x)));
+            return;
+        }
+        parallel_for_each(self.inner.collect(), self.min_len, move |x| g(map(x)));
     }
 
     /// Parallel fold-then-combine, rayon-style: `identity` seeds each
@@ -175,7 +278,10 @@ impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
         ID: Fn() -> R + Sync,
         OP: Fn(R, R) -> R + Sync,
     {
-        let mapped = parallel_map(self.inner.collect(), self.f);
+        if num_threads() == 1 {
+            return self.inner.map(self.f).fold(identity(), &op);
+        }
+        let mapped = parallel_map(self.inner.collect(), self.min_len, self.f);
         mapped.into_iter().fold(identity(), &op)
     }
 }
@@ -191,21 +297,21 @@ pub trait IntoParallelIterator {
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Iter = std::vec::IntoIter<T>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.into_iter() }
+        ParIter { inner: self.into_iter(), min_len: 1 }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Iter = std::ops::Range<usize>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+        ParIter { inner: self, min_len: 1 }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<u64> {
     type Iter = std::ops::Range<u64>;
     fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+        ParIter { inner: self, min_len: 1 }
     }
 }
 
@@ -219,10 +325,10 @@ pub trait ParallelSlice<T: Sync> {
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter { inner: self.chunks(size) }
+        ParIter { inner: self.chunks(size), min_len: 1 }
     }
     fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter { inner: self.iter() }
+        ParIter { inner: self.iter(), min_len: 1 }
     }
 }
 
@@ -236,10 +342,10 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter { inner: self.chunks_mut(size) }
+        ParIter { inner: self.chunks_mut(size), min_len: 1 }
     }
     fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter { inner: self.iter_mut() }
+        ParIter { inner: self.iter_mut(), min_len: 1 }
     }
 }
 

@@ -19,6 +19,14 @@
 //! wrong resume. Writes go through a temp file in the target directory
 //! followed by an atomic rename, so a crash mid-write never leaves a
 //! half-written file under the checkpoint's final name.
+//!
+//! Payload version 2 prepends a self-describing [`ModelMeta`] section
+//! (architecture kind, modes, width, channels, training grid) so tools
+//! like the serving registry can validate a checkpoint against the model
+//! they are about to build **before** instantiating weights — a mismatch
+//! surfaces as a typed [`CheckpointError`] instead of a late panic at
+//! tensor-reshape time. Version-1 files (no metadata) still load; their
+//! `meta` is `None`.
 
 use std::fs;
 use std::io::{self, Read, Write};
@@ -26,10 +34,151 @@ use std::path::{Path, PathBuf};
 
 use ft_nn::{load_param_values_from, save_param_values_to, AdamState, ParamValue};
 
+use crate::config::{FnoConfig, FnoKind};
 use crate::train::{RecoveryCause, RecoveryEvent};
 
 const MAGIC: &[u8; 4] = b"FTC1";
-const VERSION: u32 = 1;
+/// Current payload version: v2 = v1 plus the leading model-meta section.
+const VERSION: u32 = 2;
+/// Legacy headerless payload (pre-metadata); still readable.
+const VERSION_V1: u32 = 1;
+
+/// Typed failure modes of [`Checkpoint::load_typed`] and
+/// [`Checkpoint::validate_meta`]. Converts into `io::Error(InvalidData)`
+/// for callers on the legacy `io::Result` path.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure reading the file.
+    Io(io::Error),
+    /// Bad magic, length, checksum, or unparseable payload.
+    Corrupt(String),
+    /// Payload version newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The checkpoint predates model metadata (version 1), but the caller
+    /// requires validated metadata.
+    MetaMissing,
+    /// A metadata field disagrees with the expected architecture.
+    MetaMismatch {
+        /// Which architecture field disagrees.
+        field: &'static str,
+        /// Value the caller's configuration expects.
+        expected: u64,
+        /// Value recorded in the checkpoint.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported FTC payload version {v}")
+            }
+            CheckpointError::MetaMissing => {
+                write!(f, "checkpoint has no model metadata (legacy v1 file)")
+            }
+            CheckpointError::MetaMismatch { field, expected, found } => write!(
+                f,
+                "checkpoint metadata mismatch: {field} expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Self-describing architecture record embedded in v2 checkpoints.
+///
+/// Mirrors [`FnoConfig`] plus the training grid resolution (informational —
+/// FNOs are resolution-invariant, so `grid` is recorded but never
+/// validated).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// 2D-with-channels or 3D.
+    pub kind: FnoKind,
+    /// Hidden channel width of the Fourier layers.
+    pub width: u64,
+    /// Number of Fourier layers.
+    pub layers: u64,
+    /// Retained Fourier modes per axis.
+    pub modes: u64,
+    /// Input channels.
+    pub in_channels: u64,
+    /// Output channels.
+    pub out_channels: u64,
+    /// Lifting MLP hidden width.
+    pub lifting_channels: u64,
+    /// Projection MLP hidden width.
+    pub projection_channels: u64,
+    /// Per-layer instance normalization present.
+    pub norm: bool,
+    /// Spatial grid resolution the model was trained at (0 = unknown).
+    pub grid: u64,
+}
+
+impl ModelMeta {
+    /// Captures the metadata of a configuration trained at `grid`.
+    pub fn from_config(cfg: &FnoConfig, grid: usize) -> Self {
+        ModelMeta {
+            kind: cfg.kind,
+            width: cfg.width as u64,
+            layers: cfg.layers as u64,
+            modes: cfg.modes as u64,
+            in_channels: cfg.in_channels as u64,
+            out_channels: cfg.out_channels as u64,
+            lifting_channels: cfg.lifting_channels as u64,
+            projection_channels: cfg.projection_channels as u64,
+            norm: cfg.norm,
+            grid: grid as u64,
+        }
+    }
+
+    /// Reconstructs the [`FnoConfig`] this metadata describes.
+    pub fn to_config(&self) -> FnoConfig {
+        FnoConfig {
+            kind: self.kind,
+            width: self.width as usize,
+            layers: self.layers as usize,
+            modes: self.modes as usize,
+            in_channels: self.in_channels as usize,
+            out_channels: self.out_channels as usize,
+            lifting_channels: self.lifting_channels as usize,
+            projection_channels: self.projection_channels as usize,
+            norm: self.norm,
+        }
+    }
+
+    fn kind_code(kind: FnoKind) -> u8 {
+        match kind {
+            FnoKind::TwoDChannels => 0,
+            FnoKind::ThreeD => 1,
+        }
+    }
+}
 
 /// Where and how often [`crate::Trainer`] writes checkpoints.
 #[derive(Clone, Debug)]
@@ -53,7 +202,7 @@ impl CheckpointConfig {
 }
 
 /// Complete training state at an epoch boundary.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Epochs fully completed; resume starts at this epoch index.
     pub epochs_done: u64,
@@ -77,6 +226,8 @@ pub struct Checkpoint {
     pub best: Option<(u64, f64, Vec<ParamValue>)>,
     /// Current model weights.
     pub params: Vec<ParamValue>,
+    /// Architecture self-description (`None` for legacy v1 files).
+    pub meta: Option<ModelMeta>,
 }
 
 impl Checkpoint {
@@ -95,10 +246,18 @@ impl Checkpoint {
     /// Loads and validates a checkpoint. Magic, length, and CRC are checked
     /// before any field is parsed; every failure mode maps to
     /// `InvalidData` (or the underlying `io::Error` for filesystem
-    /// problems).
+    /// problems). See [`Checkpoint::load_typed`] for structured errors.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        Self::load_typed(path).map_err(io::Error::from)
+    }
+
+    /// [`Checkpoint::load`] with typed failure modes: header/CRC problems
+    /// are [`CheckpointError::Corrupt`], unknown payload versions are
+    /// [`CheckpointError::UnsupportedVersion`], filesystem problems are
+    /// [`CheckpointError::Io`].
+    pub fn load_typed(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
         let path = path.as_ref();
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let bad = |msg: &str| CheckpointError::Corrupt(msg.to_string());
         let bytes = fs::read(path)?;
         if bytes.len() < 16 {
             return Err(bad("checkpoint too short for FTC1 header"));
@@ -116,8 +275,7 @@ impl Checkpoint {
             return Err(bad("checkpoint checksum mismatch"));
         }
         let mut r = payload;
-        let ck = Self::read_payload(&mut r)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let ck = Self::read_payload(&mut r)?;
         if !r.is_empty() {
             return Err(bad("trailing bytes after checkpoint payload"));
         }
@@ -130,8 +288,70 @@ impl Checkpoint {
         Ok(ck)
     }
 
+    /// Checks the embedded [`ModelMeta`] against an expected architecture
+    /// **before** any weights are instantiated. Legacy v1 files fail with
+    /// [`CheckpointError::MetaMissing`]; any disagreeing field fails with
+    /// [`CheckpointError::MetaMismatch`]. As a final guard against a
+    /// metadata section inconsistent with its own weights, the total
+    /// parameter count of the stored snapshot must equal the
+    /// configuration's closed-form count.
+    pub fn validate_meta(&self, expected: &FnoConfig) -> Result<(), CheckpointError> {
+        let meta = self.meta.as_ref().ok_or(CheckpointError::MetaMissing)?;
+        let want = ModelMeta::from_config(expected, meta.grid as usize);
+        let fields: [(&'static str, u64, u64); 9] = [
+            (
+                "kind",
+                ModelMeta::kind_code(want.kind) as u64,
+                ModelMeta::kind_code(meta.kind) as u64,
+            ),
+            ("width", want.width, meta.width),
+            ("layers", want.layers, meta.layers),
+            ("modes", want.modes, meta.modes),
+            ("in_channels", want.in_channels, meta.in_channels),
+            ("out_channels", want.out_channels, meta.out_channels),
+            ("lifting_channels", want.lifting_channels, meta.lifting_channels),
+            ("projection_channels", want.projection_channels, meta.projection_channels),
+            ("norm", want.norm as u64, meta.norm as u64),
+        ];
+        for (field, expected, found) in fields {
+            if expected != found {
+                return Err(CheckpointError::MetaMismatch { field, expected, found });
+            }
+        }
+        let stored: usize = self.params.iter().map(param_numel).sum();
+        let declared = expected.param_count();
+        if stored != declared {
+            return Err(CheckpointError::MetaMismatch {
+                field: "param_count",
+                expected: declared as u64,
+                found: stored as u64,
+            });
+        }
+        Ok(())
+    }
+
     fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(&VERSION.to_le_bytes())?;
+        match &self.meta {
+            None => w.write_all(&[0u8])?,
+            Some(m) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&[ModelMeta::kind_code(m.kind)])?;
+                w.write_all(&[u8::from(m.norm)])?;
+                for v in [
+                    m.width,
+                    m.layers,
+                    m.modes,
+                    m.in_channels,
+                    m.out_channels,
+                    m.lifting_channels,
+                    m.projection_channels,
+                    m.grid,
+                ] {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
         w.write_all(&self.epochs_done.to_le_bytes())?;
         w.write_all(&self.rng_state.to_le_bytes())?;
         w.write_all(&self.lr_scale.to_le_bytes())?;
@@ -179,12 +399,57 @@ impl Checkpoint {
         save_param_values_to(&self.params, w)
     }
 
-    fn read_payload(r: &mut impl Read) -> io::Result<Checkpoint> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    fn read_payload(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
+        let bad = |msg: &str| CheckpointError::Corrupt(msg.to_string());
         let version = read_u32(r)?;
-        if version != VERSION {
-            return Err(bad("unsupported FTC version"));
+        if version != VERSION && version != VERSION_V1 {
+            return Err(CheckpointError::UnsupportedVersion(version));
         }
+        let meta = if version >= 2 {
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            match flag[0] {
+                0 => None,
+                1 => {
+                    let mut kb = [0u8; 2];
+                    r.read_exact(&mut kb)?;
+                    let kind = match kb[0] {
+                        0 => FnoKind::TwoDChannels,
+                        1 => FnoKind::ThreeD,
+                        _ => return Err(bad("unknown model kind in metadata")),
+                    };
+                    let norm = match kb[1] {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(bad("corrupt norm flag in metadata")),
+                    };
+                    let mut f = [0u64; 8];
+                    for v in &mut f {
+                        *v = read_u64(r)?;
+                    }
+                    // Grid (f[7]) is informational; the architecture dims
+                    // must at least be plausible.
+                    if f[..7].iter().any(|&v| v == 0 || v > 1 << 20) {
+                        return Err(bad("implausible architecture dimension in metadata"));
+                    }
+                    Some(ModelMeta {
+                        kind,
+                        width: f[0],
+                        layers: f[1],
+                        modes: f[2],
+                        in_channels: f[3],
+                        out_channels: f[4],
+                        lifting_channels: f[5],
+                        projection_channels: f[6],
+                        norm,
+                        grid: f[7],
+                    })
+                }
+                _ => return Err(bad("corrupt model-metadata flag")),
+            }
+        } else {
+            None
+        };
         let epochs_done = read_u64(r)?;
         let rng_state = read_u64(r)?;
         let lr_scale = read_f64(r)?;
@@ -279,7 +544,17 @@ impl Checkpoint {
             recoveries,
             best,
             params,
+            meta,
         })
+    }
+}
+
+/// Element count of one stored parameter under the Table-I `numel`
+/// convention (a complex entry counts once).
+fn param_numel(p: &ParamValue) -> usize {
+    match p {
+        ParamValue::Real(t) => t.len(),
+        ParamValue::Complex(t) => t.len(),
     }
 }
 
@@ -398,6 +673,18 @@ mod tests {
                 ParamValue::Real(Tensor::from_vec(&[2, 2], vec![1.0, -1.0, 0.5, 0.0])),
                 ParamValue::Complex(CTensor::from_vec(&[1], vec![Complex64::new(0.3, -0.7)])),
             ],
+            meta: Some(ModelMeta {
+                kind: crate::config::FnoKind::TwoDChannels,
+                width: 4,
+                layers: 2,
+                modes: 4,
+                in_channels: 10,
+                out_channels: 2,
+                lifting_channels: 32,
+                projection_channels: 32,
+                norm: false,
+                grid: 16,
+            }),
         }
     }
 
@@ -424,7 +711,59 @@ mod tests {
         assert_eq!(back.recoveries, ck.recoveries);
         assert!(back.best.is_some());
         assert_eq!(back.params.len(), ck.params.len());
+        assert_eq!(back.meta, ck.meta);
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn legacy_v1_payload_loads_with_no_meta() {
+        // Hand-build a v1 payload: same body as `sample()` minus the meta
+        // section, with the version field set to 1.
+        let mut ck = sample();
+        ck.meta = None;
+        let p = tmp("legacy.ftc");
+        ck.save(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Payload starts at offset 16: version u32, then the meta flag
+        // byte (0 for None). Rewrite as version 1 and drop the flag byte.
+        assert_eq!(&bytes[16..20], &2u32.to_le_bytes());
+        assert_eq!(bytes[20], 0);
+        bytes[16..20].copy_from_slice(&1u32.to_le_bytes());
+        bytes.remove(20);
+        let payload_len = (bytes.len() - 16) as u64;
+        bytes[8..16].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&bytes[16..]);
+        bytes[4..8].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+
+        let back = Checkpoint::load(&p).unwrap();
+        assert_eq!(back.epochs_done, ck.epochs_done);
+        assert!(back.meta.is_none());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn meta_validation_rejects_mismatch_with_typed_error() {
+        let ck = sample();
+        let meta = ck.meta.clone().unwrap();
+        let good = meta.to_config();
+        // The stored params of `sample()` are synthetic, so the closed-form
+        // count cannot match; restrict this check to the field comparison.
+        let mut wrong = good.clone();
+        wrong.width += 1;
+        match ck.validate_meta(&wrong) {
+            Err(CheckpointError::MetaMismatch { field: "width", expected, found }) => {
+                assert_eq!(expected, meta.width + 1);
+                assert_eq!(found, meta.width);
+            }
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
+        let mut ck_legacy = ck.clone();
+        ck_legacy.meta = None;
+        assert!(matches!(
+            ck_legacy.validate_meta(&good),
+            Err(CheckpointError::MetaMissing)
+        ));
     }
 
     #[test]

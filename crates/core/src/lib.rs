@@ -30,8 +30,8 @@ pub mod rollout;
 pub mod train;
 
 pub use baselines::{persistence_rollout, SpectralLinearModel};
-pub use checkpoint::{Checkpoint, CheckpointConfig};
-pub use config::FnoConfig;
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, ModelMeta};
+pub use config::{FnoConfig, FnoKind};
 pub use deeponet::{DeepONet, DeepONetConfig};
 pub use ensemble::{ensemble_rollout, EnsembleForecast};
 pub use hybrid::{HybridConfig, HybridScheme, Scheme, TrajectoryLog};

@@ -24,6 +24,19 @@ pub trait ForecastModel: Layer {
     fn in_channels(&self) -> usize;
     /// Output snapshot channels.
     fn out_channels(&self) -> usize;
+    /// Batched inference entry point for the serving path: takes
+    /// `[B, C, ...]` and returns `[B, C_out, ...]` without allocating any
+    /// gradient tape (see `no_tape_forward` test coverage). The default
+    /// delegates to [`ForecastModel::infer`], which is already tape-free.
+    fn forward_inference(&self, batch: &Tensor) -> Tensor {
+        self.infer(batch)
+    }
+    /// Architecture self-description for checkpoint embedding (`None`
+    /// when the implementation cannot describe itself; `grid` is left 0
+    /// for the caller to fill in).
+    fn model_meta(&self) -> Option<crate::checkpoint::ModelMeta> {
+        None
+    }
 }
 
 /// A Fourier neural operator (2D-with-channels or 3D).
@@ -204,6 +217,9 @@ impl ForecastModel for Fno {
     fn out_channels(&self) -> usize {
         self.config.out_channels
     }
+    fn model_meta(&self) -> Option<crate::checkpoint::ModelMeta> {
+        Some(crate::checkpoint::ModelMeta::from_config(&self.config, 0))
+    }
 }
 
 impl Layer for Fno {
@@ -274,7 +290,6 @@ mod tests {
     use super::*;
     use ft_nn::gradcheck::{check_input_gradient, check_param_gradients};
     use rand::distributions::Uniform;
-    use rand::Rng;
 
     fn tiny2d() -> FnoConfig {
         FnoConfig {

@@ -228,6 +228,10 @@ impl<M: ForecastModel> Trainer<M> {
         let mut sched = StepLr::new(self.cfg.lr, self.cfg.scheduler_gamma, self.cfg.scheduler_step);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let kind = self.model.layout();
+        // Spatial resolution of the training data, recorded (informational)
+        // in checkpoint metadata. The trailing spatial axis is the grid for
+        // both layouts ([C, H, W] and [1, X, Y, T] use square grids).
+        let grid = train_pairs[0].input.dims().iter().rev().nth(1).copied().unwrap_or(0) as u64;
 
         let mut train_loss = Vec::with_capacity(self.cfg.epochs);
         let mut eval_history = Vec::new();
@@ -431,6 +435,7 @@ impl<M: ForecastModel> Trainer<M> {
                 if ckc.every > 0 && (epoch + 1) % ckc.every == 0 {
                     let ck = self.make_checkpoint(
                         epoch as u64 + 1,
+                        grid,
                         &rng,
                         &opt,
                         &sched,
@@ -452,6 +457,7 @@ impl<M: ForecastModel> Trainer<M> {
         if let Some(ckc) = self.ckpt.clone() {
             let ck = self.make_checkpoint(
                 train_loss.len() as u64,
+                grid,
                 &rng,
                 &opt,
                 &sched,
@@ -518,6 +524,7 @@ impl<M: ForecastModel> Trainer<M> {
     fn make_checkpoint(
         &mut self,
         epochs_done: u64,
+        grid: u64,
         rng: &StdRng,
         opt: &Adam,
         sched: &StepLr,
@@ -542,6 +549,10 @@ impl<M: ForecastModel> Trainer<M> {
                 .as_ref()
                 .map(|(e, v, snap)| (*e as u64, *v, snap.clone())),
             params: ft_nn::snapshot_params(&mut self.model),
+            meta: self.model.model_meta().map(|mut m| {
+                m.grid = grid;
+                m
+            }),
         }
     }
 }

@@ -83,6 +83,22 @@ fn arbitrary_checkpoint(
             )
         }),
         params,
+        meta: (seed % 2 == 0).then(|| fno_core::checkpoint::ModelMeta {
+            kind: if seed % 4 == 0 {
+                fno_core::config::FnoKind::TwoDChannels
+            } else {
+                fno_core::config::FnoKind::ThreeD
+            },
+            width: 1 + seed % 64,
+            layers: 1 + seed % 8,
+            modes: 1 + seed % 32,
+            in_channels: 1 + seed % 10,
+            out_channels: 1 + seed % 10,
+            lifting_channels: 1 + seed % 256,
+            projection_channels: 1 + seed % 256,
+            norm: seed % 3 == 0,
+            grid: seed % 512,
+        }),
     }
 }
 
@@ -104,6 +120,7 @@ fn assert_roundtrip(ck: &Checkpoint, tag: &str) {
     assert_eq!(back.recoveries, ck.recoveries);
     assert_eq!(back.best.is_some(), ck.best.is_some());
     assert_eq!(back.params.len(), ck.params.len());
+    assert_eq!(back.meta, ck.meta);
     for (a, b) in back.params.iter().zip(&ck.params) {
         match (a, b) {
             (ParamValue::Real(x), ParamValue::Real(y)) => assert!(x.allclose(y, 0.0)),

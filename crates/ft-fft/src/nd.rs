@@ -8,7 +8,7 @@ use ft_tensor::{CTensor, Complex64, Tensor};
 use rayon::prelude::*;
 
 use crate::plan::with_plan;
-use crate::real::{irfft, rfft, rfft_len};
+use crate::real::{irfft_into, rfft_into, rfft_len};
 use crate::Direction;
 
 /// In-place 1D transform along `axis` of a complex tensor, batched over all
@@ -86,7 +86,7 @@ pub fn rfftn(x: &Tensor, ndim: usize) -> CTensor {
         .par_chunks_mut(wh)
         .zip(x.data().par_chunks(w))
         .for_each(|(dst, src)| {
-            dst.copy_from_slice(&rfft(src));
+            rfft_into(src, dst);
         });
 
     let mut out = CTensor::from_vec(&out_dims, out_data);
@@ -121,7 +121,7 @@ pub fn irfftn(c: &CTensor, last_dim: usize, ndim: usize) -> Tensor {
         .par_chunks_mut(last_dim)
         .zip(work.data().par_chunks(wh))
         .for_each(|(dst, src)| {
-            dst.copy_from_slice(&irfft(src, last_dim));
+            irfft_into(src, last_dim, dst);
         });
     Tensor::from_vec(&out_dims, out_data)
 }

@@ -5,6 +5,10 @@
 //! pack-into-half-size-complex trick (one complex FFT of size `n/2`); odd
 //! sizes fall back to a full complex transform.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use ft_tensor::Complex64;
 
 use crate::plan::with_plan;
@@ -16,22 +20,69 @@ pub fn rfft_len(n: usize) -> usize {
     n / 2 + 1
 }
 
+thread_local! {
+    /// Per-size forward twiddles `cis(-2πk/n)` for `k ∈ 0..n/2`, shared by
+    /// the even-length pack/unpack paths. Sizes recur across every row of
+    /// every batch, so recomputing sin/cos per call would dominate small
+    /// transforms; the inverse path conjugates the same table.
+    static TWIDDLES: RefCell<HashMap<usize, Rc<[Complex64]>>> = RefCell::new(HashMap::new());
+
+    /// Reusable complex scratch for the `*_into` row transforms, so a batched
+    /// n-d transform performs zero heap allocations per row.
+    static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn twiddles(n: usize) -> Rc<[Complex64]> {
+    TWIDDLES.with(|m| {
+        m.borrow_mut()
+            .entry(n)
+            .or_insert_with(|| {
+                (0..n / 2)
+                    .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+                    .collect()
+            })
+            .clone()
+    })
+}
+
+/// Runs `f` with a zeroed-length scratch buffer of capacity ≥ `n`,
+/// reusing one thread-local allocation across calls.
+fn with_scratch<R>(n: usize, f: impl FnOnce(&mut Vec<Complex64>) -> R) -> R {
+    SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        buf.clear();
+        buf.reserve(n);
+        f(&mut buf)
+    })
+}
+
 /// Forward real transform: `n` reals → `n/2 + 1` complex bins
 /// (unnormalized, matching `torch.fft.rfft`).
 pub fn rfft(input: &[f64]) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; rfft_len(input.len())];
+    rfft_into(input, &mut out);
+    out
+}
+
+/// [`rfft`] writing into a caller-provided buffer of length `n/2 + 1`;
+/// performs no heap allocation beyond thread-local scratch reuse.
+pub fn rfft_into(input: &[f64], out: &mut [Complex64]) {
     let n = input.len();
     assert!(n > 0, "rfft of empty signal");
+    assert_eq!(out.len(), rfft_len(n), "rfft output buffer length");
     if n == 1 {
-        return vec![Complex64::from_re(input[0])];
+        out[0] = Complex64::from_re(input[0]);
+        return;
     }
     if n % 2 == 0 {
-        rfft_even(input)
+        rfft_even(input, out);
     } else {
         // Odd length: embed into a complex transform and keep half.
-        let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
-        with_plan(n, |p| p.process(&mut buf, Direction::Forward));
-        buf.truncate(rfft_len(n));
-        buf
+        with_scratch(n, |buf| {
+            buf.extend(input.iter().map(|&x| Complex64::from_re(x)));
+            with_plan(n, |p| p.process(buf, Direction::Forward));
+            out.copy_from_slice(&buf[..rfft_len(n)]);
+        });
     }
 }
 
@@ -41,6 +92,14 @@ pub fn rfft(input: &[f64]) -> Vec<Complex64> {
 /// The redundant imaginary parts of the DC and (for even `n`) Nyquist bins
 /// are ignored, as in reference implementations.
 pub fn irfft(spectrum: &[Complex64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    irfft_into(spectrum, n, &mut out);
+    out
+}
+
+/// [`irfft`] writing into a caller-provided buffer of length `n`;
+/// performs no heap allocation beyond thread-local scratch reuse.
+pub fn irfft_into(spectrum: &[Complex64], n: usize, out: &mut [f64]) {
     assert!(n > 0, "irfft target length must be positive");
     assert_eq!(
         spectrum.len(),
@@ -49,74 +108,77 @@ pub fn irfft(spectrum: &[Complex64], n: usize) -> Vec<f64> {
         spectrum.len(),
         rfft_len(n)
     );
+    assert_eq!(out.len(), n, "irfft output buffer length");
     if n == 1 {
-        return vec![spectrum[0].re];
+        out[0] = spectrum[0].re;
+        return;
     }
     if n % 2 == 0 {
-        irfft_even(spectrum, n)
+        irfft_even(spectrum, n, out);
     } else {
         // Reconstruct the full Hermitian spectrum, then complex inverse.
-        let mut full = vec![Complex64::ZERO; n];
-        full[0] = Complex64::from_re(spectrum[0].re);
-        for k in 1..spectrum.len() {
-            full[k] = spectrum[k];
-            full[n - k] = spectrum[k].conj();
-        }
-        with_plan(n, |p| p.process(&mut full, Direction::Inverse));
-        full.into_iter().map(|z| z.re).collect()
+        with_scratch(n, |full| {
+            full.resize(n, Complex64::ZERO);
+            full[0] = Complex64::from_re(spectrum[0].re);
+            for k in 1..spectrum.len() {
+                full[k] = spectrum[k];
+                full[n - k] = spectrum[k].conj();
+            }
+            with_plan(n, |p| p.process(full, Direction::Inverse));
+            for (o, z) in out.iter_mut().zip(full.iter()) {
+                *o = z.re;
+            }
+        });
     }
 }
 
-fn rfft_even(input: &[f64]) -> Vec<Complex64> {
+fn rfft_even(input: &[f64], out: &mut [Complex64]) {
     let n = input.len();
     let h = n / 2;
+    let tw = twiddles(n);
     // Pack even samples into the real part, odd into the imaginary part.
-    let mut z: Vec<Complex64> = (0..h)
-        .map(|j| Complex64::new(input[2 * j], input[2 * j + 1]))
-        .collect();
-    with_plan(h, |p| p.process(&mut z, Direction::Forward));
+    with_scratch(h, |z| {
+        z.extend((0..h).map(|j| Complex64::new(input[2 * j], input[2 * j + 1])));
+        with_plan(h, |p| p.process(z, Direction::Forward));
 
-    let mut out = Vec::with_capacity(h + 1);
-    for k in 0..h {
-        let zk = z[k];
-        let zc = z[(h - k) % h].conj();
-        let e = (zk + zc) * 0.5;
-        let o = (zk - zc).mul_neg_i() * 0.5;
-        let w = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
-        out.push(e + w * o);
-    }
-    // Nyquist bin: X[n/2] = E[0] − O[0].
-    let z0 = z[0];
-    out.push(Complex64::from_re(z0.re - z0.im));
-    out
+        for (k, (o, &w)) in out[..h].iter_mut().zip(tw.iter()).enumerate() {
+            let zk = z[k];
+            let zc = z[(h - k) % h].conj();
+            let e = (zk + zc) * 0.5;
+            let od = (zk - zc).mul_neg_i() * 0.5;
+            *o = e + w * od;
+        }
+        // Nyquist bin: X[n/2] = E[0] − O[0].
+        let z0 = z[0];
+        out[h] = Complex64::from_re(z0.re - z0.im);
+    });
 }
 
-fn irfft_even(spectrum: &[Complex64], n: usize) -> Vec<f64> {
+fn irfft_even(spectrum: &[Complex64], n: usize, out: &mut [f64]) {
     let h = n / 2;
+    let tw = twiddles(n);
     // Recover the packed half-size spectrum Z[k] = E[k] + i·W^{-k}·O-part.
-    let mut z = Vec::with_capacity(h);
-    for k in 0..h {
-        // Force the Hermitian-redundant components to their consistent
-        // values so stray imaginary parts in bins 0 and n/2 cannot leak.
-        let xk = if k == 0 { Complex64::from_re(spectrum[0].re) } else { spectrum[k] };
-        let xc = if k == 0 {
-            Complex64::from_re(spectrum[h].re)
-        } else {
-            spectrum[h - k].conj()
-        };
-        let e = (xk + xc) * 0.5;
-        let w_inv = Complex64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64);
-        let o = (xk - xc) * 0.5 * w_inv;
-        z.push(e + o.mul_i());
-    }
-    with_plan(h, |p| p.process(&mut z, Direction::Inverse));
+    with_scratch(h, |z| {
+        for (k, &w) in tw.iter().enumerate() {
+            // Force the Hermitian-redundant components to their consistent
+            // values so stray imaginary parts in bins 0 and n/2 cannot leak.
+            let xk = if k == 0 { Complex64::from_re(spectrum[0].re) } else { spectrum[k] };
+            let xc = if k == 0 {
+                Complex64::from_re(spectrum[h].re)
+            } else {
+                spectrum[h - k].conj()
+            };
+            let e = (xk + xc) * 0.5;
+            let o = (xk - xc) * 0.5 * w.conj();
+            z.push(e + o.mul_i());
+        }
+        with_plan(h, |p| p.process(z, Direction::Inverse));
 
-    let mut out = Vec::with_capacity(n);
-    for zj in z {
-        out.push(zj.re);
-        out.push(zj.im);
-    }
-    out
+        for (j, zj) in z.iter().enumerate() {
+            out[2 * j] = zj.re;
+            out[2 * j + 1] = zj.im;
+        }
+    });
 }
 
 #[cfg(test)]

@@ -281,7 +281,7 @@ pub fn load_param_values_from(r: &mut impl Read) -> io::Result<Vec<ParamValue>> 
 
 /// An in-memory snapshot of every parameter value (not gradients), used by
 /// early stopping to restore the best-seen weights.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub enum ParamValue {
     /// Real tensor value.
     Real(ft_tensor::Tensor),

@@ -1,0 +1,664 @@
+//! The serving core: bounded admission queue, micro-batching dispatcher,
+//! graceful drain.
+//!
+//! # Life of a request
+//!
+//! 1. **Admission** — [`ServeHandle::submit`] validates the input shape
+//!    against the target model and tries to enqueue. A full queue is an
+//!    immediate [`ServeError::Overloaded`] (no silent blocking): the
+//!    caller sees backpressure, `serve.rejected` counts it, and a
+//!    `serve_overload` flight event marks the episode.
+//! 2. **Batching** — the dispatcher pops the oldest request, then
+//!    coalesces up to `max_batch − 1` further requests with the same
+//!    *batch key* (model name + input shape), holding the open batch for
+//!    at most `batch_window` to let compatible requests arrive. Requests
+//!    with a different key are left queued in order.
+//! 3. **Execution** — the batch is stacked along a new leading axis and
+//!    run through one [`ForecastModel::forward_inference`] call (no
+//!    gradient tape), which parallelizes internally via rayon. A panic in
+//!    the model is caught and converted into per-request errors — the
+//!    dispatcher and the server outlive bad inputs.
+//! 4. **Completion** — each caller's [`PendingResponse`] is filled and
+//!    woken.
+//!
+//! # Dispatch modes
+//!
+//! With `auto_dispatch` (the default) a background dispatcher thread
+//! drives steps 2–4. With it off, **manual dispatch** mode, nothing runs
+//! until [`ServeHandle::dispatch_once`] is called — queue states are then
+//! fully deterministic, which is what the overload and drain tests use.
+//!
+//! # Shutdown
+//!
+//! [`ServeEngine::shutdown`] flips the draining flag (new submissions get
+//! [`ServeError::ShuttingDown`]), lets the dispatcher finish everything
+//! already admitted, and joins it. No admitted request is dropped.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ft_tensor::Tensor;
+use fno_core::{FnoKind, ForecastModel};
+
+use crate::metrics;
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::session::{SessionConfig, SessionStore};
+use crate::ServeError;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Bound on queued (admitted, not yet executing) requests.
+    pub queue_capacity: usize,
+    /// Largest micro-batch a single forward call may carry.
+    pub max_batch: usize,
+    /// How long the dispatcher holds an open batch for more compatible
+    /// requests before executing it anyway.
+    pub batch_window: Duration,
+    /// Spawn the background dispatcher (`true`), or require explicit
+    /// [`ServeHandle::dispatch_once`] calls (`false`, for tests).
+    pub auto_dispatch: bool,
+    /// Session-store limits.
+    pub session: SessionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: crate::DEFAULT_QUEUE_CAPACITY,
+            max_batch: crate::DEFAULT_MAX_BATCH,
+            batch_window: crate::DEFAULT_BATCH_WINDOW,
+            auto_dispatch: true,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// A point-in-time view of engine state, for health endpoints and tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeStats {
+    /// Requests currently queued (admitted, not executing).
+    pub queued: usize,
+    /// Live rollout sessions.
+    pub sessions: usize,
+    /// Whether the engine is draining.
+    pub shutting_down: bool,
+}
+
+/// One admitted request, parked in the queue until a dispatcher picks it
+/// up.
+struct Request {
+    entry: Arc<ModelEntry>,
+    input: Tensor,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Request {
+    fn key_matches(&self, other: &Request) -> bool {
+        self.entry.name == other.entry.name && self.input.dims() == other.input.dims()
+    }
+}
+
+/// Rendezvous cell between a waiting client and the dispatcher.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Tensor, ServeError>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot { result: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fill(&self, r: Result<Tensor, ServeError>) {
+        *self.result.lock().unwrap() = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's side of an in-flight request. [`PendingResponse::wait`]
+/// blocks until the dispatcher fills it.
+pub struct PendingResponse {
+    slot: Arc<ResponseSlot>,
+}
+
+impl std::fmt::Debug for PendingResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state =
+            if self.slot.result.lock().unwrap().is_some() { "ready" } else { "in-flight" };
+        write!(f, "PendingResponse({state})")
+    }
+}
+
+impl PendingResponse {
+    /// Blocks until the prediction (or its error) is available.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        let mut guard = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self.slot.cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Non-blocking poll; `None` while still in flight.
+    pub fn try_take(&self) -> Option<Result<Tensor, ServeError>> {
+        self.slot.result.lock().unwrap().take()
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: ModelRegistry,
+    sessions: SessionStore,
+    state: Mutex<QueueState>,
+    /// Signaled on enqueue and on shutdown.
+    cv: Condvar,
+}
+
+/// A running serving engine. Owns the dispatcher thread (in auto mode);
+/// hand out [`ServeHandle`]s via [`ServeEngine::handle`] and call
+/// [`ServeEngine::shutdown`] to drain.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+/// Cloneable, thread-safe client handle to a [`ServeEngine`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeEngine {
+    /// Starts an engine over `registry` with `cfg`. In auto-dispatch mode
+    /// this spawns the dispatcher thread immediately.
+    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cfg,
+            registry,
+            sessions: SessionStore::new(cfg.session),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false }),
+            cv: Condvar::new(),
+        });
+        let dispatcher = cfg.auto_dispatch.then(|| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-dispatcher".into())
+                .spawn(move || dispatcher_loop(&sh))
+                .expect("spawn serve dispatcher")
+        });
+        ServeEngine { shared, dispatcher }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Graceful drain: stop admitting, finish everything already queued,
+    /// stop the dispatcher. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutting_down = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("serve dispatcher panicked");
+        } else {
+            // Manual mode: drain inline so admitted requests still complete.
+            while dispatch_batch(&self.shared, false) > 0 {}
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ServeHandle {
+    /// Validates and admits a request against model `model`; returns a
+    /// handle to await. Fails fast with [`ServeError::Overloaded`] when
+    /// the queue is full.
+    pub fn submit(&self, model: &str, input: Tensor) -> Result<PendingResponse, ServeError> {
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        validate_input(&entry, &input)?;
+        let slot = ResponseSlot::new();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.cfg.queue_capacity {
+                metrics::REJECTED.inc();
+                ft_obs::flight::event_with(|| {
+                    ft_obs::Record::new("event")
+                        .str("kind", "serve_overload")
+                        .str("model", model)
+                        .u64("queue_depth", st.queue.len() as u64)
+                        .u64("capacity", self.shared.cfg.queue_capacity as u64)
+                });
+                return Err(ServeError::Overloaded);
+            }
+            st.queue.push_back(Request {
+                entry,
+                input,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            metrics::REQUESTS.inc();
+            metrics::QUEUE_DEPTH.set(st.queue.len() as f64);
+        }
+        self.shared.cv.notify_all();
+        Ok(PendingResponse { slot })
+    }
+
+    /// Synchronous predict: [`ServeHandle::submit`] + wait.
+    pub fn predict(&self, model: &str, input: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Manual-dispatch mode: assemble and execute one batch from the
+    /// current queue contents (no waiting). Returns the batch size, 0 if
+    /// the queue was empty. Also usable in auto mode for tests, though
+    /// the background dispatcher will race it.
+    pub fn dispatch_once(&self) -> usize {
+        dispatch_batch(&self.shared, false)
+    }
+
+    /// Opens a rollout session for `model` from `history`.
+    pub fn open_session(&self, model: &str, history: &Tensor) -> Result<u64, ServeError> {
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        if self.shared.state.lock().unwrap().shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.shared.sessions.open(entry, history)
+    }
+
+    /// Advances a session by `steps` frames; returns `[steps, H, W]`.
+    pub fn session_step(&self, id: u64, steps: usize) -> Result<Tensor, ServeError> {
+        self.shared.sessions.step(id, steps)
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn close_session(&self, id: u64) -> bool {
+        self.shared.sessions.close(id)
+    }
+
+    /// Registered model names.
+    pub fn model_names(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// Current engine state.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.state.lock().unwrap();
+        ServeStats {
+            queued: st.queue.len(),
+            sessions: self.shared.sessions.len(),
+            shutting_down: st.shutting_down,
+        }
+    }
+}
+
+/// Shape check at admission so a bad request is a typed error instead of
+/// a panic inside the batched forward.
+fn validate_input(entry: &ModelEntry, input: &Tensor) -> Result<(), ServeError> {
+    let cfg = entry.config();
+    let dims = input.dims();
+    if dims.len() != 3 {
+        return Err(ServeError::BadInput(format!(
+            "expected rank-3 input {}, got {dims:?}",
+            entry.input_rank_hint()
+        )));
+    }
+    if cfg.kind == FnoKind::TwoDChannels && dims[0] != cfg.in_channels {
+        return Err(ServeError::BadInput(format!(
+            "model `{}` takes {} input channels, got {}",
+            entry.name, cfg.in_channels, dims[0]
+        )));
+    }
+    let (h, w) = (dims[1], dims[2]);
+    if h < 2 * cfg.modes || w < 2 * cfg.modes {
+        return Err(ServeError::BadInput(format!(
+            "grid {h}×{w} too small for {} retained modes",
+            cfg.modes
+        )));
+    }
+    Ok(())
+}
+
+fn dispatcher_loop(sh: &Arc<Shared>) {
+    loop {
+        let n = dispatch_batch(sh, true);
+        if n == 0 {
+            // Queue empty: exit if draining, otherwise sleep until work.
+            let mut st = sh.state.lock().unwrap();
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = sh.cv.wait(st).unwrap();
+            }
+        }
+    }
+}
+
+/// Assembles one batch from the queue and executes it. With `wait` set,
+/// holds an under-full batch open until the batching window closes; the
+/// manual-dispatch path passes `false` and takes only what is queued.
+/// Returns the number of requests completed.
+fn dispatch_batch(sh: &Arc<Shared>, wait: bool) -> usize {
+    let assembly_start = Instant::now();
+    let max_batch = sh.cfg.max_batch.max(1);
+    let mut batch: Vec<Request> = Vec::new();
+    {
+        let mut st = sh.state.lock().unwrap();
+        let Some(head) = st.queue.pop_front() else {
+            return 0;
+        };
+        metrics::QUEUE_WAIT.observe(assembly_start.duration_since(head.enqueued).as_secs_f64());
+        batch.push(head);
+        let deadline = assembly_start + sh.cfg.batch_window;
+        loop {
+            // Pull every queued request compatible with the head, in order.
+            let mut i = 0;
+            while i < st.queue.len() && batch.len() < max_batch {
+                if st.queue[i].key_matches(&batch[0]) {
+                    let r = st.queue.remove(i).unwrap();
+                    metrics::QUEUE_WAIT
+                        .observe(Instant::now().duration_since(r.enqueued).as_secs_f64());
+                    batch.push(r);
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= max_batch || !wait || st.shutting_down {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = sh.cv.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+            if timeout.timed_out() && st.queue.iter().all(|r| !r.key_matches(&batch[0])) {
+                break;
+            }
+        }
+        metrics::QUEUE_DEPTH.set(st.queue.len() as f64);
+    }
+    metrics::BATCH_ASSEMBLY.observe(assembly_start.elapsed().as_secs_f64());
+    metrics::BATCHES.inc();
+    metrics::BATCH_SIZE.observe(batch.len() as f64);
+
+    let outputs = {
+        let _sp = ft_obs::span("serve/forward");
+        let t0 = Instant::now();
+        let r = run_batch(&batch);
+        metrics::FORWARD.observe(t0.elapsed().as_secs_f64());
+        r
+    };
+    let n = batch.len();
+    match outputs {
+        Ok(outs) => {
+            for (req, out) in batch.into_iter().zip(outs) {
+                req.slot.fill(Ok(out));
+            }
+        }
+        Err(e) => {
+            for req in batch {
+                req.slot.fill(Err(e.clone()));
+            }
+        }
+    }
+    n
+}
+
+/// Stacks the batch, runs one tape-free forward, splits the outputs.
+/// Every request in the batch shares a model and input shape (the batch
+/// key), so stacking is a straight concatenation.
+fn run_batch(batch: &[Request]) -> Result<Vec<Tensor>, ServeError> {
+    let entry = &batch[0].entry;
+    let dims = batch[0].input.dims();
+    let (frames, h, w) = (dims[0], dims[1], dims[2]);
+    let b = batch.len();
+    let result = catch_unwind(AssertUnwindSafe(|| match entry.config().kind {
+        FnoKind::TwoDChannels => {
+            let mut data = Vec::with_capacity(b * frames * h * w);
+            for r in batch {
+                data.extend_from_slice(r.input.data());
+            }
+            let x = Tensor::from_vec(&[b, frames, h, w], data);
+            let y = entry.model.forward_inference(&x); // [b, c_out, h, w]
+            let per = y.len() / b;
+            (0..b)
+                .map(|i| {
+                    let mut out_dims = y.dims().to_vec();
+                    out_dims.remove(0);
+                    Tensor::from_vec(&out_dims, y.data()[i * per..(i + 1) * per].to_vec())
+                })
+                .collect::<Vec<Tensor>>()
+        }
+        FnoKind::ThreeD => {
+            // [T, H, W] per request → [b, 1, H, W, T] batched space-time
+            // block, then back. (Axis order is the 3D model's contract;
+            // see `fno_core::rollout::predict_block_3d`.)
+            let mut x = Tensor::zeros(&[b, 1, h, w, frames]);
+            {
+                let dst = x.data_mut();
+                for (i, r) in batch.iter().enumerate() {
+                    let src = r.input.data();
+                    let base = i * h * w * frames;
+                    for t in 0..frames {
+                        for yy in 0..h {
+                            for xx in 0..w {
+                                dst[base + (yy * w + xx) * frames + t] =
+                                    src[(t * h + yy) * w + xx];
+                            }
+                        }
+                    }
+                }
+            }
+            let y = entry.model.forward_inference(&x); // [b, 1, h, w, frames]
+            let src = y.data();
+            (0..b)
+                .map(|i| {
+                    let mut out = Tensor::zeros(&[frames, h, w]);
+                    let dst = out.data_mut();
+                    let base = i * h * w * frames;
+                    for t in 0..frames {
+                        for yy in 0..h {
+                            for xx in 0..w {
+                                dst[(t * h + yy) * w + xx] =
+                                    src[base + (yy * w + xx) * frames + t];
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect::<Vec<Tensor>>()
+        }
+    }));
+    result.map_err(|_| {
+        ServeError::BadInput(format!(
+            "model `{}` panicked on a [{b}, {frames}, {h}, {w}] batch",
+            entry.name
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use fno_core::{Fno, FnoConfig, FnoKind};
+
+    fn tiny_registry() -> ModelRegistry {
+        let cfg = FnoConfig {
+            kind: FnoKind::TwoDChannels,
+            width: 2,
+            layers: 1,
+            modes: 2,
+            in_channels: 4,
+            out_channels: 2,
+            lifting_channels: 3,
+            projection_channels: 3,
+            norm: false,
+        };
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", Fno::new(cfg, 42)).unwrap();
+        reg
+    }
+
+    fn input(h: usize) -> Tensor {
+        Tensor::from_fn(&[4, h, h], |i| (i[0] as f64 * 0.3 + i[1] as f64 + i[2] as f64).sin())
+    }
+
+    #[test]
+    fn manual_dispatch_batches_compatible_requests() {
+        let engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, max_batch: 8, ..Default::default() },
+        );
+        let h = engine.handle();
+        let pending: Vec<_> =
+            (0..3).map(|_| h.submit("m", input(8)).unwrap()).collect();
+        assert_eq!(h.stats().queued, 3);
+        assert_eq!(h.dispatch_once(), 3);
+        assert_eq!(h.stats().queued, 0);
+        for p in pending {
+            let out = p.wait().unwrap();
+            assert_eq!(out.dims(), &[2, 8, 8]);
+            assert!(out.all_finite());
+        }
+    }
+
+    #[test]
+    fn batched_results_match_single_requests() {
+        let engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, max_batch: 8, ..Default::default() },
+        );
+        let h = engine.handle();
+        let a = h.submit("m", input(8)).unwrap();
+        let b = h.submit("m", input(8)).unwrap();
+        assert_eq!(h.dispatch_once(), 2);
+        let ya = a.wait().unwrap();
+        let yb = b.wait().unwrap();
+
+        let solo = h.submit("m", input(8)).unwrap();
+        assert_eq!(h.dispatch_once(), 1);
+        let ys = solo.wait().unwrap();
+        assert!(ya.allclose(&ys, 1e-12), "batching must not change results");
+        assert!(yb.allclose(&ys, 1e-12));
+    }
+
+    #[test]
+    fn mixed_shapes_split_into_separate_batches() {
+        let engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, max_batch: 8, ..Default::default() },
+        );
+        let h = engine.handle();
+        let _a = h.submit("m", input(8)).unwrap();
+        let _b = h.submit("m", input(16)).unwrap();
+        let _c = h.submit("m", input(8)).unwrap();
+        // First batch takes the two 8×8 requests around the 16×16 one.
+        assert_eq!(h.dispatch_once(), 2);
+        assert_eq!(h.dispatch_once(), 1);
+        assert_eq!(h.dispatch_once(), 0);
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, ..Default::default() },
+        );
+        let h = engine.handle();
+        assert!(matches!(
+            h.predict("nope", input(8)).unwrap_err(),
+            ServeError::UnknownModel(_)
+        ));
+        let bad = Tensor::zeros(&[3, 8, 8]); // wrong channel count
+        assert!(matches!(h.predict("m", bad).unwrap_err(), ServeError::BadInput(_)));
+        let tiny = Tensor::zeros(&[4, 2, 2]); // grid below 2×modes
+        assert!(matches!(h.predict("m", tiny).unwrap_err(), ServeError::BadInput(_)));
+    }
+
+    #[test]
+    fn auto_dispatch_round_trip() {
+        let mut engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig {
+                batch_window: Duration::from_micros(50),
+                ..Default::default()
+            },
+        );
+        let h = engine.handle();
+        let out = h.predict("m", input(8)).unwrap();
+        assert_eq!(out.dims(), &[2, 8, 8]);
+        engine.shutdown();
+        assert!(matches!(h.predict("m", input(8)).unwrap_err(), ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let mut engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, ..Default::default() },
+        );
+        let h = engine.handle();
+        let pending: Vec<_> =
+            (0..5).map(|_| h.submit("m", input(8)).unwrap()).collect();
+        engine.shutdown();
+        for p in pending {
+            assert!(p.wait().is_ok(), "admitted requests must complete through drain");
+        }
+    }
+
+    #[test]
+    fn session_matches_rollout() {
+        let engine = ServeEngine::new(
+            tiny_registry(),
+            ServeConfig { auto_dispatch: false, ..Default::default() },
+        );
+        let h = engine.handle();
+        let hist = input(8);
+        let id = h.open_session("m", &hist).unwrap();
+        let served = h.session_step(id, 5).unwrap();
+        let reg = tiny_registry();
+        let direct = fno_core::rollout::rollout(&reg.get("m").unwrap().model, &hist, 5);
+        assert!(served.allclose(&direct, 1e-12));
+        assert!(h.close_session(id));
+        assert!(matches!(
+            h.session_step(id, 1).unwrap_err(),
+            ServeError::UnknownSession(_)
+        ));
+    }
+}

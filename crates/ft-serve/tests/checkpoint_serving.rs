@@ -1,0 +1,113 @@
+//! End-to-end: a training checkpoint round-trips through the registry's
+//! validated load path and serves the same predictions as the live model.
+
+use ft_serve::{ModelRegistry, RegistryError, ServeConfig, ServeEngine};
+use ft_tensor::Tensor;
+use fno_core::checkpoint::CheckpointError;
+use fno_core::{Checkpoint, Fno, FnoConfig, FnoKind, ModelMeta};
+
+fn tiny_cfg() -> FnoConfig {
+    FnoConfig {
+        kind: FnoKind::TwoDChannels,
+        width: 2,
+        layers: 1,
+        modes: 2,
+        in_channels: 4,
+        out_channels: 2,
+        lifting_channels: 3,
+        projection_channels: 3,
+        norm: false,
+    }
+}
+
+fn checkpoint_of(model: &mut Fno, meta: Option<ModelMeta>) -> Checkpoint {
+    Checkpoint {
+        epochs_done: 3,
+        rng_state: 42,
+        lr_scale: 1.0,
+        stale: 0,
+        sched_epoch: 3,
+        adam: ft_nn::AdamState { m: vec![], v: vec![], t: 0 },
+        train_loss: vec![0.9, 0.5, 0.3],
+        eval_history: vec![],
+        recoveries: vec![],
+        best: None,
+        params: ft_nn::snapshot_params(model),
+        meta,
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ft_serve_ckpt_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn checkpoint_serves_identically_to_source_model() {
+    let mut model = Fno::new(tiny_cfg(), 11);
+    let meta = ModelMeta::from_config(model.config(), 8);
+    let ck = checkpoint_of(&mut model, Some(meta));
+    let path = tmp("good.ftc");
+    ck.save(&path).unwrap();
+
+    let mut reg = ModelRegistry::new();
+    reg.load_checkpoint("ck", &path).unwrap();
+    let entry = reg.get("ck").unwrap();
+    assert_eq!(entry.meta.as_ref().unwrap().grid, 8);
+
+    let x = Tensor::from_fn(&[4, 8, 8], |i| (i[0] as f64 + i[1] as f64 * 0.3 + i[2] as f64).cos());
+    let batched = Tensor::from_vec(
+        &[1, 4, 8, 8],
+        x.data().to_vec(),
+    );
+    let want = model.infer(&batched);
+
+    let engine = ServeEngine::new(reg, ServeConfig { auto_dispatch: false, ..Default::default() });
+    let h = engine.handle();
+    let pending = h.submit("ck", x).unwrap();
+    assert_eq!(h.dispatch_once(), 1);
+    let got = pending.wait().unwrap();
+    // Engine output drops the batch axis; compare raw data.
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.data().iter().zip(want.data()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn legacy_checkpoint_without_meta_is_refused_with_typed_error() {
+    let mut model = Fno::new(tiny_cfg(), 11);
+    let ck = checkpoint_of(&mut model, None);
+    let path = tmp("legacy.ftc");
+    ck.save(&path).unwrap();
+
+    let mut reg = ModelRegistry::new();
+    let err = reg.load_checkpoint("ck", &path).unwrap_err();
+    assert!(matches!(
+        err,
+        RegistryError::Checkpoint(CheckpointError::MetaMissing)
+    ));
+    assert!(reg.is_empty(), "failed load must not register anything");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn inconsistent_meta_is_refused_before_weights_restore() {
+    let mut model = Fno::new(tiny_cfg(), 11);
+    // Lie about the width: the param count recorded in the file no longer
+    // matches the architecture the metadata describes.
+    let mut meta = ModelMeta::from_config(model.config(), 8);
+    meta.width = 7;
+    let ck = checkpoint_of(&mut model, Some(meta));
+    let path = tmp("mismatch.ftc");
+    ck.save(&path).unwrap();
+
+    let mut reg = ModelRegistry::new();
+    let err = reg.load_checkpoint("ck", &path).unwrap_err();
+    assert!(matches!(
+        err,
+        RegistryError::Checkpoint(CheckpointError::MetaMismatch { field: "param_count", .. })
+    ));
+    assert!(reg.is_empty());
+    std::fs::remove_file(&path).ok();
+}

@@ -46,4 +46,31 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 echo "==> bench_compare gate (BENCH_baseline.json vs BENCH_tier1.json)"
 ./target/release/bench_compare BENCH_baseline.json BENCH_tier1.json
 
+# Serve smoke: stand up fno-serve on a kernel-assigned loopback port, fire
+# 50 closed-loop requests at the smoke model, then gate the client-side
+# bench file. The committed baseline pins `serve_bench.errors` and
+# `.rejected` to exactly 0 (zero-valued counter baselines are exact in
+# bench_compare), so any failed or shed request fails CI.
+echo "==> serve smoke (fno-serve + serve-bench, BENCH_serve.json)"
+./target/release/fno-serve --model "$SMOKE_DIR/model.fnc" --addr 127.0.0.1:0 \
+    2>"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on //p' "$SMOKE_DIR/serve.log" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "fno-serve did not start:" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+fi
+./target/release/serve-bench --addr "$ADDR" --requests 50 --clients 4 \
+    --channels 10 --grid 16 --shutdown --bench-out "$SMOKE_DIR/BENCH_serve.json"
+wait "$SERVE_PID"
+
+echo "==> bench_compare gate (BENCH_serve_baseline.json vs BENCH_serve.json)"
+./target/release/bench_compare BENCH_serve_baseline.json "$SMOKE_DIR/BENCH_serve.json"
+
 echo "CI OK"

@@ -20,6 +20,10 @@
 //! and reports per-frame errors; `hybrid` marches one of the three schemes
 //! and prints the Fig. 8 diagnostics.
 //!
+//! Every command accepts `--threads N`, which sizes the global rayon
+//! pool once at startup (attempting to size it twice, or after implicit
+//! initialization, is reported as a clean error rather than a panic).
+//!
 //! Every command additionally accepts the observability options
 //! `--metrics-out FILE` (stream JSONL metric records — one `train_epoch`
 //! record per epoch during `train`, opened by a `run_manifest` record
@@ -61,6 +65,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(threads) = opts.get("threads") {
+        let n: usize = match threads.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --threads: cannot parse `{threads}`");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The pool can only be sized once per process; a second attempt
+        // (or an earlier implicit initialization) is a clean error.
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+            eprintln!("error: --threads {n}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let profile = opts.contains_key("profile");
     if profile {
         ft_obs::set_enabled(true);
@@ -122,6 +141,10 @@ const USAGE: &str = "usage:
                      [--scheme hybrid|fno|pde] [--window K] [--reynolds RE]
   fno2dturb ensemble --data data.ftt --model model.fnc [--sample I] [--frames N]
                      [--members M] [--delta D]
+
+global options (any command):
+  --threads N          size the global rayon pool once at startup (error if
+                       the pool was already initialized)
 
 observability (any command):
   --metrics-out FILE   stream JSONL metric records to FILE (opens with a

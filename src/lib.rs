@@ -17,7 +17,10 @@
 //!   the hybrid FNO-PDE orchestrator,
 //! * [`obs`] — observability substrate: timing spans, counters/gauges,
 //!   JSONL metric streaming and `BENCH_*.json` emission (off by default,
-//!   zero overhead when disabled).
+//!   zero overhead when disabled),
+//! * [`serve`] — inference serving: model registry, micro-batching
+//!   request engine with admission control, stateful rollout sessions,
+//!   and the `fno-serve` wire protocol.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -32,6 +35,7 @@ pub use ft_lbm as lbm;
 pub use ft_nn as nn;
 pub use ft_ns as ns;
 pub use ft_obs as obs;
+pub use ft_serve as serve;
 pub use ft_tensor as tensor;
 pub use fno_core as fno;
 
