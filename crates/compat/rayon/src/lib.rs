@@ -349,6 +349,39 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// A scope handle for structured task spawning (see [`scope`]).
+///
+/// Unlike the iterator shims above, `spawn` always creates a real OS
+/// thread — callers use `scope` when they *want* concurrency regardless of
+/// workload size (e.g. sharding a mini-batch across replicas), so there is
+/// no inline fallback here.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on a scoped thread; the closure may spawn further tasks
+    /// through the scope handle it receives, rayon-style.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Structured fork-join, rayon-style: runs `f` with a [`Scope`] whose
+/// spawned tasks are all joined before `scope` returns. Borrows of stack
+/// data from the enclosing frame are allowed, as with `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// Everything a `use rayon::prelude::*` consumer expects.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
@@ -410,6 +443,17 @@ mod tests {
         let mut data = vec![1.0f64; 8];
         data.par_iter_mut().for_each(|x| *x *= 2.0);
         assert!(data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let mut outputs = vec![0usize; 4];
+        super::scope(|s| {
+            for (i, slot) in outputs.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        });
+        assert_eq!(outputs, vec![1, 2, 3, 4]);
     }
 
     #[test]

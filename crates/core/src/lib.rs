@@ -39,5 +39,6 @@ pub use model::{Fno, ForecastModel};
 pub use physics::{divergence_penalty, paired_windows};
 pub use rollout::{frame_errors, predict_block_3d, rollout, rollout_paired};
 pub use train::{
-    evaluate, LossKind, RecoveryCause, RecoveryEvent, TrainConfig, TrainReport, Trainer,
+    batch_of, evaluate, sharded_batch_grads, tree_reduce_grads, LossKind, RecoveryCause,
+    RecoveryEvent, SampleGrad, TrainConfig, TrainReport, Trainer,
 };

@@ -37,9 +37,17 @@ pub trait ForecastModel: Layer {
     fn model_meta(&self) -> Option<crate::checkpoint::ModelMeta> {
         None
     }
+    /// A structural copy of this model (weights and gradient accumulators
+    /// included) for data-parallel training replicas. `None` (the default)
+    /// opts the model out of batch sharding — the trainer falls back to the
+    /// serial whole-batch path.
+    fn replicate(&self) -> Option<Box<dyn ForecastModel + Send>> {
+        None
+    }
 }
 
 /// A Fourier neural operator (2D-with-channels or 3D).
+#[derive(Clone)]
 pub struct Fno {
     config: FnoConfig,
     lift1: Linear,
@@ -219,6 +227,9 @@ impl ForecastModel for Fno {
     }
     fn model_meta(&self) -> Option<crate::checkpoint::ModelMeta> {
         Some(crate::checkpoint::ModelMeta::from_config(&self.config, 0))
+    }
+    fn replicate(&self) -> Option<Box<dyn ForecastModel + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

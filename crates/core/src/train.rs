@@ -1,12 +1,21 @@
 //! The Sec. VI training loop: relative-L2 loss, Adam, StepLR, mini-batches.
 //!
+//! Data parallelism: when the model can [`ForecastModel::replicate`]
+//! itself, each mini-batch is sharded per-sample across worker replicas
+//! that share an epoch-consistent parameter snapshot; the per-sample
+//! gradients are reduced in a fixed, index-ordered tree
+//! ([`tree_reduce_grads`]) so results are bit-identical for any worker
+//! count — see DESIGN.md §13 for the determinism contract.
+//!
 //! Fault tolerance: the loop snapshots its full state at every epoch
 //! boundary, optionally persists it as an `FTC1` checkpoint (see
 //! [`crate::checkpoint`]), and guards every optimizer step with a health
 //! monitor. A non-finite batch loss or gradient rolls the model and
-//! optimizer back to the epoch-start snapshot, halves the learning rate,
-//! and retries the epoch with the poisoned batch excluded; each such
-//! event is recorded in [`TrainReport::recoveries`].
+//! optimizer back to the epoch-start snapshot, halves the learning rate
+//! (folded into the scheduler's base rate via [`StepLr::scale_base`], so
+//! the next scheduler step cannot revert it), and retries the epoch with
+//! the poisoned batch excluded; each such event is recorded in
+//! [`TrainReport::recoveries`].
 
 use std::io;
 use std::path::Path;
@@ -34,6 +43,9 @@ static TRAIN_RECOVERIES: ft_obs::Counter = ft_obs::Counter::new("train.recoverie
 /// tail quantiles expose straggler batches long before the epoch mean
 /// moves.
 static BATCH_LOSS: ft_obs::Histogram = ft_obs::Histogram::new("train.batch_loss");
+/// End-of-run training throughput (total samples over summed epoch wall
+/// time), exported into `BENCH_train.json` and gated one-sided in CI.
+static TRAIN_RATE: ft_obs::Gauge = ft_obs::Gauge::new("train.samples_per_sec");
 
 /// Which data-fit loss drives the optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -238,7 +250,6 @@ impl<M: ForecastModel> Trainer<M> {
         let mut best: Option<(usize, f64, Vec<ft_nn::ParamValue>)> = None;
         let mut stale = 0usize;
         let mut last_epoch = 0usize;
-        let mut lr_scale = 1.0f64;
         let mut recoveries: Vec<RecoveryEvent> = Vec::new();
         let mut epochs: Vec<EpochMetrics> = Vec::new();
         let mut start_epoch = 0usize;
@@ -253,8 +264,8 @@ impl<M: ForecastModel> Trainer<M> {
             ft_nn::restore_params(&mut self.model, &ck.params);
             opt.import_state(ck.adam);
             sched.set_epoch(ck.sched_epoch);
-            lr_scale = ck.lr_scale;
-            opt.lr = sched.lr() * lr_scale;
+            sched.set_base_scale(ck.lr_scale);
+            opt.lr = sched.lr();
             rng = StdRng::from_state(ck.rng_state);
             train_loss = ck.train_loss;
             eval_history = ck.eval_history.iter().map(|&(e, v)| (e as usize, v)).collect();
@@ -263,6 +274,23 @@ impl<M: ForecastModel> Trainer<M> {
             recoveries = ck.recoveries;
             start_epoch = ck.epochs_done as usize;
             last_epoch = start_epoch.saturating_sub(1);
+        }
+
+        // Data-parallel worker replicas for batch sharding, built once and
+        // re-synced from a parameter snapshot every batch. More replicas
+        // than the batch size (or the pool width) would sit idle; models
+        // that cannot replicate (`replicate() == None`, e.g. DeepONet) get
+        // an empty set and take the serial whole-batch path instead.
+        let worker_cap = rayon::current_num_threads().clamp(1, self.cfg.batch_size.max(1));
+        let mut replicas: Vec<Box<dyn ForecastModel + Send>> = Vec::new();
+        for _ in 0..worker_cap {
+            match self.model.replicate() {
+                Some(r) => replicas.push(r),
+                None => {
+                    replicas.clear();
+                    break;
+                }
+            }
         }
 
         'training: for epoch in start_epoch..self.cfg.epochs {
@@ -281,7 +309,6 @@ impl<M: ForecastModel> Trainer<M> {
             let mut skip: Vec<usize> = Vec::new();
             let (epoch_mean, epoch_samples, epoch_grad_norm) = loop {
                 let mut epoch_loss = 0.0;
-                let mut batches = 0usize;
                 let mut samples = 0usize;
                 let mut last_grad_norm = f64::NAN;
                 let mut fault: Option<(usize, RecoveryCause)> = None;
@@ -289,28 +316,68 @@ impl<M: ForecastModel> Trainer<M> {
                     if skip.contains(&bi) {
                         continue;
                     }
-                    let (x, y) = batch_of(train_pairs, chunk, kind);
-                    let pred = self.model.forward(&x);
-                    let (mut loss, mut grad) = match self.cfg.loss {
-                        LossKind::RelativeL2 => RelativeL2::value_and_grad(&pred, &y),
-                        LossKind::Mse => Mse::value_and_grad(&pred, &y),
+                    // Produce the mean batch loss and leave the batch
+                    // gradient (averaged over the chunk) in the main
+                    // model's accumulators.
+                    let loss = if replicas.is_empty() {
+                        // Serial whole-batch path.
+                        let (x, y) = batch_of(train_pairs, chunk, kind);
+                        let pred = self.model.forward(&x);
+                        let (mut loss, mut grad) = match self.cfg.loss {
+                            LossKind::RelativeL2 => RelativeL2::value_and_grad(&pred, &y),
+                            LossKind::Mse => Mse::value_and_grad(&pred, &y),
+                        };
+                        if self.cfg.divergence_weight > 0.0 {
+                            // Normalize by the target's squared-vorticity scale so the
+                            // penalty is dimensionless and comparable to the data loss
+                            // regardless of field amplitude.
+                            let (pv, pg) = crate::physics::divergence_penalty(&pred);
+                            let scale = crate::physics::mean_sq_vorticity(&y).max(1e-300);
+                            let w = self.cfg.divergence_weight / scale;
+                            loss += w * pv;
+                            grad.add_scaled(&pg, w);
+                        }
+                        if !loss.is_finite() {
+                            fault = Some((bi, RecoveryCause::NonFiniteLoss));
+                            break;
+                        }
+                        self.model.backward(&grad);
+                        loss
+                    } else {
+                        // Sharded data-parallel path: per-sample shards
+                        // against a shared snapshot, fixed-order reduction.
+                        let snap = ft_nn::snapshot_params(&mut self.model);
+                        let per_sample = sharded_batch_grads(
+                            &mut replicas,
+                            &snap,
+                            train_pairs,
+                            chunk,
+                            kind,
+                            self.cfg.loss,
+                            self.cfg.divergence_weight,
+                        );
+                        if per_sample.iter().any(|(l, _)| !l.is_finite()) {
+                            fault = Some((bi, RecoveryCause::NonFiniteLoss));
+                            break;
+                        }
+                        // Index-ordered loss sum and gradient tree: the
+                        // association is a function of the chunk alone, so
+                        // any worker count gives the same bits.
+                        let mut sum = 0.0;
+                        let grads: Vec<Vec<ft_nn::ParamValue>> = per_sample
+                            .into_iter()
+                            .map(|(l, g)| {
+                                sum += l;
+                                g.expect("finite sample carries gradients")
+                            })
+                            .collect();
+                        let mut reduced =
+                            tree_reduce_grads(grads).expect("non-empty batch");
+                        ft_nn::scale_param_values(&mut reduced, 1.0 / chunk.len() as f64);
+                        ft_nn::load_grads(&mut self.model, &reduced);
+                        sum / chunk.len() as f64
                     };
-                    if self.cfg.divergence_weight > 0.0 {
-                        // Normalize by the target's squared-vorticity scale so the
-                        // penalty is dimensionless and comparable to the data loss
-                        // regardless of field amplitude.
-                        let (pv, pg) = crate::physics::divergence_penalty(&pred);
-                        let scale = crate::physics::mean_sq_vorticity(&y).max(1e-300);
-                        let w = self.cfg.divergence_weight / scale;
-                        loss += w * pv;
-                        grad.add_scaled(&pg, w);
-                    }
-                    if !loss.is_finite() {
-                        fault = Some((bi, RecoveryCause::NonFiniteLoss));
-                        break;
-                    }
                     BATCH_LOSS.observe(loss);
-                    self.model.backward(&grad);
                     let grad_norm = ft_nn::global_grad_norm(&mut self.model);
                     if !grad_norm.is_finite() {
                         fault = Some((bi, RecoveryCause::NonFiniteGrad));
@@ -322,20 +389,24 @@ impl<M: ForecastModel> Trainer<M> {
                     }
                     opt.step(&mut self.model);
                     self.model.zero_grad();
-                    epoch_loss += loss;
-                    batches += 1;
+                    // Weight by the chunk size so a short tail batch
+                    // contributes per sample, not per batch, to the epoch
+                    // mean.
+                    epoch_loss += loss * chunk.len() as f64;
                     samples += chunk.len();
                 }
                 let Some((batch, cause)) = fault else {
-                    break (epoch_loss / batches.max(1) as f64, samples, last_grad_norm);
+                    break (epoch_loss / samples.max(1) as f64, samples, last_grad_norm);
                 };
                 // Roll back to the last good state, halve the learning
                 // rate, and retry the epoch without the poisoned batch.
                 ft_nn::restore_params(&mut self.model, &guard_params);
                 opt.import_state(guard_opt.clone());
                 self.model.zero_grad();
-                lr_scale *= 0.5;
-                opt.lr = sched.lr() * lr_scale;
+                // Fold the halving into the scheduler's base rate so the
+                // next sched.step() re-derives — not reverts — it.
+                sched.scale_base(0.5);
+                opt.lr = sched.lr();
                 TRAIN_RECOVERIES.inc();
                 recoveries.push(RecoveryEvent { epoch, batch, cause, lr: opt.lr });
                 // Flight-record the anomaly: the rollback itself, the LR
@@ -360,6 +431,8 @@ impl<M: ForecastModel> Trainer<M> {
                         .str("source", "train")
                         .u64("epoch", epoch as u64)
                         .f64("lr", opt.lr)
+                        .f64("base_scale", sched.base_scale())
+                        .f64("scheduler_lr", sched.lr())
                 });
                 if let Some(Err(e)) = ft_obs::flight::dump("health_monitor") {
                     eprintln!("warning: flight-recorder dump failed: {e}");
@@ -371,7 +444,6 @@ impl<M: ForecastModel> Trainer<M> {
                 skip.push(batch);
             };
             sched.step(&mut opt);
-            opt.lr *= lr_scale;
             train_loss.push(epoch_mean);
 
             let epoch_wall = epoch_start.elapsed().as_secs_f64();
@@ -439,7 +511,6 @@ impl<M: ForecastModel> Trainer<M> {
                         &rng,
                         &opt,
                         &sched,
-                        lr_scale,
                         stale,
                         &train_loss,
                         &eval_history,
@@ -461,7 +532,6 @@ impl<M: ForecastModel> Trainer<M> {
                 &rng,
                 &opt,
                 &sched,
-                lr_scale,
                 stale,
                 &train_loss,
                 &eval_history,
@@ -478,6 +548,14 @@ impl<M: ForecastModel> Trainer<M> {
         } else {
             last_epoch
         };
+        // End-of-run throughput gauge: total samples over summed epoch wall
+        // time (excludes evaluation and final-checkpoint overhead).
+        let total_wall: f64 = epochs.iter().map(|e| e.wall_seconds).sum();
+        let total_samples: usize = epochs.iter().map(|e| e.samples).sum();
+        if total_wall > 0.0 && total_samples > 0 {
+            TRAIN_RATE.set(total_samples as f64 / total_wall);
+        }
+
         let test_error = evaluate(&self.model, test_pairs);
         TrainReport {
             train_loss,
@@ -528,7 +606,6 @@ impl<M: ForecastModel> Trainer<M> {
         rng: &StdRng,
         opt: &Adam,
         sched: &StepLr,
-        lr_scale: f64,
         stale: usize,
         train_loss: &[f64],
         eval_history: &[(usize, f64)],
@@ -538,7 +615,10 @@ impl<M: ForecastModel> Trainer<M> {
         Checkpoint {
             epochs_done,
             rng_state: rng.state(),
-            lr_scale,
+            // The checkpoint's `lr_scale` field stores the scheduler's
+            // accumulated external multiplier (recovery halvings); resume
+            // feeds it back through `StepLr::set_base_scale`.
+            lr_scale: sched.base_scale(),
             stale: stale as u64,
             sched_epoch: sched.epoch(),
             adam: opt.export_state(),
@@ -567,10 +647,146 @@ pub fn evaluate<M: ForecastModel>(model: &M, pairs: &[Pair]) -> f64 {
     let mut total = 0.0;
     for chunk in idx.chunks(16) {
         let (x, y) = batch_of(pairs, chunk, kind);
-        let pred = model.infer(&x);
+        // The serving-path entry point: shares the batched spectral kernels
+        // (and their planned FFTs) with `ft-serve`'s dispatcher.
+        let pred = model.forward_inference(&x);
         total += RelativeL2::value(&pred, &y) * chunk.len() as f64;
     }
     total / pairs.len() as f64
+}
+
+/// One sample's contribution from the sharded backward pass: its loss and,
+/// when every intermediate stayed finite, its raw (un-normalized) gradients.
+pub type SampleGrad = (f64, Option<Vec<ft_nn::ParamValue>>);
+
+/// Per-sample losses and gradients for one mini-batch, computed by worker
+/// `replicas` against the shared parameter snapshot `snap`.
+///
+/// The batch's sample indices (`chunk`) are split into contiguous shards,
+/// one per worker; each worker restores the snapshot into its replica and
+/// runs a single-sample forward/backward per entry. The returned vector is
+/// indexed by the sample's position in `chunk` — the decomposition is a
+/// function of the batch alone (never the thread count), which together
+/// with [`tree_reduce_grads`] keeps training bit-deterministic for any
+/// `--threads` setting (DESIGN.md §13). A non-finite sample carries `None`
+/// gradients. Gradients are raw single-sample gradients (no `1/B` factor);
+/// the caller normalizes after reduction.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_batch_grads(
+    replicas: &mut [Box<dyn ForecastModel + Send>],
+    snap: &[ft_nn::ParamValue],
+    pairs: &[Pair],
+    chunk: &[usize],
+    kind: FnoKind,
+    loss: LossKind,
+    divergence_weight: f64,
+) -> Vec<SampleGrad> {
+    assert!(!replicas.is_empty(), "sharded path requires at least one replica");
+    assert!(!chunk.is_empty(), "empty batch");
+    let workers = replicas.len().min(chunk.len());
+    let mut results: Vec<Option<SampleGrad>> = Vec::new();
+    results.resize_with(chunk.len(), || None);
+    if workers == 1 {
+        // Single worker (or single-sample batch): run inline rather than
+        // paying a thread spawn per batch.
+        run_shard(
+            replicas[0].as_mut(),
+            snap,
+            pairs,
+            chunk,
+            kind,
+            loss,
+            divergence_weight,
+            &mut results,
+        );
+    } else {
+        // Contiguous shard ranges: worker `w` takes `base` samples plus one
+        // extra while `w < chunk.len() % workers`.
+        let base = chunk.len() / workers;
+        let extra = chunk.len() % workers;
+        rayon::scope(|s| {
+            let mut rem_ids = chunk;
+            let mut rem_out = &mut results[..];
+            for (w, rep) in replicas.iter_mut().take(workers).enumerate() {
+                let take = base + usize::from(w < extra);
+                let (ids, rest_ids) = rem_ids.split_at(take);
+                rem_ids = rest_ids;
+                let (out, rest_out) = std::mem::take(&mut rem_out).split_at_mut(take);
+                rem_out = rest_out;
+                s.spawn(move |_| {
+                    run_shard(rep.as_mut(), snap, pairs, ids, kind, loss, divergence_weight, out);
+                });
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("every sample slot filled by its shard")).collect()
+}
+
+/// One worker's shard: restore `snap` into the replica, then per sample run
+/// forward/loss/backward and snapshot the gradients into the matching `out`
+/// slot.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    model: &mut (dyn ForecastModel + Send),
+    snap: &[ft_nn::ParamValue],
+    pairs: &[Pair],
+    sample_ids: &[usize],
+    kind: FnoKind,
+    loss_kind: LossKind,
+    divergence_weight: f64,
+    out: &mut [Option<SampleGrad>],
+) {
+    assert_eq!(sample_ids.len(), out.len(), "shard output slice mismatch");
+    ft_nn::restore_params(model, snap);
+    model.zero_grad();
+    for (slot, &i) in out.iter_mut().zip(sample_ids) {
+        let (x, y) = batch_of(pairs, &[i], kind);
+        let pred = model.forward(&x);
+        let (mut loss, mut grad) = match loss_kind {
+            LossKind::RelativeL2 => RelativeL2::value_and_grad(&pred, &y),
+            LossKind::Mse => Mse::value_and_grad(&pred, &y),
+        };
+        if divergence_weight > 0.0 {
+            // Same dimensionless normalization as the serial path, applied
+            // per sample.
+            let (pv, pg) = crate::physics::divergence_penalty(&pred);
+            let scale = crate::physics::mean_sq_vorticity(&y).max(1e-300);
+            let w = divergence_weight / scale;
+            loss += w * pv;
+            grad.add_scaled(&pg, w);
+        }
+        if loss.is_finite() {
+            model.backward(&grad);
+            *slot = Some((loss, Some(ft_nn::snapshot_grads(model))));
+            model.zero_grad();
+        } else {
+            *slot = Some((loss, None));
+        }
+    }
+}
+
+/// Reduces per-sample gradient snapshots in a fixed, index-ordered pairwise
+/// tree: the first level combines (0,1), (2,3), …; each level halves the
+/// count. The association depends only on the number of gradients — never
+/// on thread count or completion order — so the reduced sum is bit-identical
+/// across `--threads` settings (the FTC1 determinism contract). Returns
+/// `None` for an empty input.
+pub fn tree_reduce_grads(mut grads: Vec<Vec<ft_nn::ParamValue>>) -> Option<Vec<ft_nn::ParamValue>> {
+    if grads.is_empty() {
+        return None;
+    }
+    while grads.len() > 1 {
+        let mut next = Vec::with_capacity(grads.len().div_ceil(2));
+        let mut it = grads.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                ft_nn::add_param_values(&mut a, &b);
+            }
+            next.push(a);
+        }
+        grads = next;
+    }
+    grads.pop()
 }
 
 /// Stacks selected pairs into model-shaped input/target batches.

@@ -31,8 +31,8 @@ pub mod radix2;
 pub mod real;
 
 pub use nd::{fft2, fftn, ifft2, ifftn, irfft2, irfftn, rfft2, rfftn};
-pub use plan::{Fft, FftPlanner};
-pub use real::{irfft, rfft};
+pub use plan::{shared_plan, Fft, FftPlanner};
+pub use real::{irfft, rfft, shared_real_plan, RealPlan};
 
 use ft_tensor::Complex64;
 

@@ -4,12 +4,20 @@
 //! them with rayon. Real-input variants (`rfft*`) use the half-spectrum
 //! layout along the **last** axis, matching `torch.fft.rfftn` / `irfftn`.
 
+use std::cell::RefCell;
+
 use ft_tensor::{CTensor, Complex64, Tensor};
 use rayon::prelude::*;
 
-use crate::plan::with_plan;
-use crate::real::{irfft_into, rfft_into, rfft_len};
+use crate::plan::shared_plan;
+use crate::real::{rfft_len, shared_real_plan};
 use crate::Direction;
+
+thread_local! {
+    /// Reusable line buffer for the strided (non-last-axis) transform path,
+    /// so a batched `fft_axis` performs no per-line heap allocation.
+    static AXIS_SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// In-place 1D transform along `axis` of a complex tensor, batched over all
 /// other axes. Parallelizes over the contiguous outer blocks.
@@ -24,20 +32,27 @@ pub fn fft_axis(ct: &mut CTensor, axis: usize, dir: Direction) {
     let block: usize = dims[axis..].iter().product();
     let inner: usize = dims[axis + 1..].iter().product();
 
+    // One planner lookup covers the whole batch; workers share the handle
+    // instead of paying a plan-cache probe (or a twiddle re-derivation on a
+    // freshly spawned thread) per line.
+    let plan = shared_plan(n);
     ct.data_mut().par_chunks_mut(block).for_each(|chunk| {
         if inner == 1 {
-            with_plan(n, |p| p.process(chunk, dir));
+            plan.process(chunk, dir);
         } else {
-            let mut scratch = vec![Complex64::ZERO; n];
-            for i in 0..inner {
-                for t in 0..n {
-                    scratch[t] = chunk[i + t * inner];
+            AXIS_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                scratch.resize(n, Complex64::ZERO);
+                for i in 0..inner {
+                    for t in 0..n {
+                        scratch[t] = chunk[i + t * inner];
+                    }
+                    plan.process(&mut scratch, dir);
+                    for t in 0..n {
+                        chunk[i + t * inner] = scratch[t];
+                    }
                 }
-                with_plan(n, |p| p.process(&mut scratch, dir));
-                for t in 0..n {
-                    chunk[i + t * inner] = scratch[t];
-                }
-            }
+            });
         }
     });
 }
@@ -82,11 +97,13 @@ pub fn rfftn(x: &Tensor, ndim: usize) -> CTensor {
     let rows = x.len() / w;
     let mut out_data = vec![Complex64::ZERO; rows * wh];
 
+    // Resolve the real plan once for the whole batch of rows.
+    let rp = shared_real_plan(w);
     out_data
         .par_chunks_mut(wh)
         .zip(x.data().par_chunks(w))
         .for_each(|(dst, src)| {
-            rfft_into(src, dst);
+            rp.rfft_into(src, dst);
         });
 
     let mut out = CTensor::from_vec(&out_dims, out_data);
@@ -117,11 +134,13 @@ pub fn irfftn(c: &CTensor, last_dim: usize, ndim: usize) -> Tensor {
     out_dims[rank - 1] = last_dim;
     let rows = work.len() / wh;
     let mut out_data = vec![0.0f64; rows * last_dim];
+    // Resolve the real plan once for the whole batch of rows.
+    let rp = shared_real_plan(last_dim);
     out_data
         .par_chunks_mut(last_dim)
         .zip(work.data().par_chunks(wh))
         .for_each(|(dst, src)| {
-            irfft_into(src, last_dim, dst);
+            rp.irfft_into(src, dst);
         });
     Tensor::from_vec(&out_dims, out_data)
 }

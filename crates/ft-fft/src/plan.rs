@@ -65,11 +65,12 @@ impl Fft {
 }
 
 /// Plan-cache hits across every planner in the process (including the
-/// thread-local ones behind [`with_plan`]). Only ticks while `ft-obs`
-/// instrumentation is enabled.
-static PLAN_CACHE_HITS: ft_obs::Counter = ft_obs::Counter::new("fft.plan_cache.hits");
+/// thread-local ones behind [`with_plan`] and the real-transform plan cache
+/// in `crate::real`). Only ticks while `ft-obs` instrumentation is enabled.
+pub(crate) static PLAN_CACHE_HITS: ft_obs::Counter = ft_obs::Counter::new("fft.plan_cache.hits");
 /// Plan-cache misses (a twiddle-table derivation) across the process.
-static PLAN_CACHE_MISSES: ft_obs::Counter = ft_obs::Counter::new("fft.plan_cache.misses");
+pub(crate) static PLAN_CACHE_MISSES: ft_obs::Counter =
+    ft_obs::Counter::new("fft.plan_cache.misses");
 
 /// A by-size cache of [`Fft`] plans. Clone the returned `Arc`s freely; plans
 /// are immutable after construction and safe to share across threads.
@@ -112,6 +113,17 @@ thread_local! {
 pub fn with_plan<R>(n: usize, f: impl FnOnce(&Fft) -> R) -> R {
     let plan = LOCAL_PLANNER.with(|p| p.borrow_mut().plan(n));
     f(&plan)
+}
+
+/// Returns the thread-local cached plan for size `n` as a shareable handle.
+///
+/// Batched call sites hoist this out of their per-slice loops: one planner
+/// lookup (and one hit/miss tick) covers the whole batch, and because plans
+/// are immutable the `Arc` crosses worker threads without each of them
+/// paying a cache lookup — or, on a freshly spawned worker, a full twiddle
+/// re-derivation — per row.
+pub fn shared_plan(n: usize) -> Arc<Fft> {
+    LOCAL_PLANNER.with(|p| p.borrow_mut().plan(n))
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ft_tensor::Complex64;
 
-use crate::plan::with_plan;
+use crate::plan::{shared_plan, Fft, PLAN_CACHE_HITS, PLAN_CACHE_MISSES};
 use crate::Direction;
 
 /// Number of non-redundant spectrum bins for a real signal of length `n`.
@@ -21,28 +21,14 @@ pub fn rfft_len(n: usize) -> usize {
 }
 
 thread_local! {
-    /// Per-size forward twiddles `cis(-2πk/n)` for `k ∈ 0..n/2`, shared by
-    /// the even-length pack/unpack paths. Sizes recur across every row of
-    /// every batch, so recomputing sin/cos per call would dominate small
-    /// transforms; the inverse path conjugates the same table.
-    static TWIDDLES: RefCell<HashMap<usize, Rc<[Complex64]>>> = RefCell::new(HashMap::new());
+    /// Per-size [`RealPlan`] cache behind [`shared_real_plan`]. Sizes recur
+    /// across every row of every batch, so re-deriving the twiddle table per
+    /// call would dominate small transforms.
+    static REAL_PLANS: RefCell<HashMap<usize, Arc<RealPlan>>> = RefCell::new(HashMap::new());
 
     /// Reusable complex scratch for the `*_into` row transforms, so a batched
     /// n-d transform performs zero heap allocations per row.
     static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
-}
-
-fn twiddles(n: usize) -> Rc<[Complex64]> {
-    TWIDDLES.with(|m| {
-        m.borrow_mut()
-            .entry(n)
-            .or_insert_with(|| {
-                (0..n / 2)
-                    .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
-                    .collect()
-            })
-            .clone()
-    })
 }
 
 /// Runs `f` with a zeroed-length scratch buffer of capacity ≥ `n`,
@@ -56,6 +42,166 @@ fn with_scratch<R>(n: usize, f: impl FnOnce(&mut Vec<Complex64>) -> R) -> R {
     })
 }
 
+/// A planned real transform of a fixed length: the complex plan plus the
+/// pack/unpack twiddle table, bundled so a batched n-d transform resolves
+/// them **once** and shares the handle across worker threads (everything
+/// inside is immutable). Per-row scratch still comes from the thread-local
+/// buffer, so rows allocate nothing after warm-up.
+pub struct RealPlan {
+    n: usize,
+    /// Even `n`: the half-size complex plan; odd `n`: the full-size plan.
+    plan: Arc<Fft>,
+    /// Forward twiddles `cis(-2πk/n)` for `k ∈ 0..n/2` (even path only;
+    /// the inverse path conjugates the same table). Empty for odd `n`.
+    twiddles: Arc<[Complex64]>,
+}
+
+impl RealPlan {
+    /// Plans a real transform of length `n > 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "real transform length must be positive");
+        if n > 1 && n % 2 == 0 {
+            let twiddles: Arc<[Complex64]> = (0..n / 2)
+                .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+                .collect();
+            RealPlan { n, plan: shared_plan(n / 2), twiddles }
+        } else {
+            RealPlan { n, plan: shared_plan(n), twiddles: Arc::from([]) }
+        }
+    }
+
+    /// The planned (time-domain) length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the planned length is zero (never; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// [`rfft`] of one row, writing into a buffer of length `n/2 + 1`.
+    pub fn rfft_into(&self, input: &[f64], out: &mut [Complex64]) {
+        let n = self.n;
+        assert_eq!(input.len(), n, "rfft input length");
+        assert_eq!(out.len(), rfft_len(n), "rfft output buffer length");
+        if n == 1 {
+            out[0] = Complex64::from_re(input[0]);
+            return;
+        }
+        if n % 2 == 0 {
+            self.rfft_even(input, out);
+        } else {
+            // Odd length: embed into a complex transform and keep half.
+            with_scratch(n, |buf| {
+                buf.extend(input.iter().map(|&x| Complex64::from_re(x)));
+                self.plan.process(buf, Direction::Forward);
+                out.copy_from_slice(&buf[..rfft_len(n)]);
+            });
+        }
+    }
+
+    /// [`irfft`] of one row, writing the `n` reals into `out`.
+    pub fn irfft_into(&self, spectrum: &[Complex64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(
+            spectrum.len(),
+            rfft_len(n),
+            "spectrum length {} does not match rfft_len({n}) = {}",
+            spectrum.len(),
+            rfft_len(n)
+        );
+        assert_eq!(out.len(), n, "irfft output buffer length");
+        if n == 1 {
+            out[0] = spectrum[0].re;
+            return;
+        }
+        if n % 2 == 0 {
+            self.irfft_even(spectrum, out);
+        } else {
+            // Reconstruct the full Hermitian spectrum, then complex inverse.
+            with_scratch(n, |full| {
+                full.resize(n, Complex64::ZERO);
+                full[0] = Complex64::from_re(spectrum[0].re);
+                for k in 1..spectrum.len() {
+                    full[k] = spectrum[k];
+                    full[n - k] = spectrum[k].conj();
+                }
+                self.plan.process(full, Direction::Inverse);
+                for (o, z) in out.iter_mut().zip(full.iter()) {
+                    *o = z.re;
+                }
+            });
+        }
+    }
+
+    fn rfft_even(&self, input: &[f64], out: &mut [Complex64]) {
+        let n = self.n;
+        let h = n / 2;
+        let tw = &self.twiddles;
+        // Pack even samples into the real part, odd into the imaginary part.
+        with_scratch(h, |z| {
+            z.extend((0..h).map(|j| Complex64::new(input[2 * j], input[2 * j + 1])));
+            self.plan.process(z, Direction::Forward);
+
+            for (k, (o, &w)) in out[..h].iter_mut().zip(tw.iter()).enumerate() {
+                let zk = z[k];
+                let zc = z[(h - k) % h].conj();
+                let e = (zk + zc) * 0.5;
+                let od = (zk - zc).mul_neg_i() * 0.5;
+                *o = e + w * od;
+            }
+            // Nyquist bin: X[n/2] = E[0] − O[0].
+            let z0 = z[0];
+            out[h] = Complex64::from_re(z0.re - z0.im);
+        });
+    }
+
+    fn irfft_even(&self, spectrum: &[Complex64], out: &mut [f64]) {
+        let n = self.n;
+        let h = n / 2;
+        let tw = &self.twiddles;
+        // Recover the packed half-size spectrum Z[k] = E[k] + i·W^{-k}·O-part.
+        with_scratch(h, |z| {
+            for (k, &w) in tw.iter().enumerate() {
+                // Force the Hermitian-redundant components to their consistent
+                // values so stray imaginary parts in bins 0 and n/2 cannot leak.
+                let xk = if k == 0 { Complex64::from_re(spectrum[0].re) } else { spectrum[k] };
+                let xc = if k == 0 {
+                    Complex64::from_re(spectrum[h].re)
+                } else {
+                    spectrum[h - k].conj()
+                };
+                let e = (xk + xc) * 0.5;
+                let o = (xk - xc) * 0.5 * w.conj();
+                z.push(e + o.mul_i());
+            }
+            self.plan.process(z, Direction::Inverse);
+
+            for (j, zj) in z.iter().enumerate() {
+                out[2 * j] = zj.re;
+                out[2 * j + 1] = zj.im;
+            }
+        });
+    }
+}
+
+/// Returns the thread-local cached [`RealPlan`] for length `n`. Feeds the
+/// same `fft.plan_cache.{hits,misses}` counters as [`crate::FftPlanner`],
+/// so the hit rate reflects every planning decision in the process.
+pub fn shared_real_plan(n: usize) -> Arc<RealPlan> {
+    REAL_PLANS.with(|m| match m.borrow_mut().entry(n) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            PLAN_CACHE_HITS.inc();
+            e.get().clone()
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            PLAN_CACHE_MISSES.inc();
+            v.insert(Arc::new(RealPlan::new(n))).clone()
+        }
+    })
+}
+
 /// Forward real transform: `n` reals → `n/2 + 1` complex bins
 /// (unnormalized, matching `torch.fft.rfft`).
 pub fn rfft(input: &[f64]) -> Vec<Complex64> {
@@ -66,24 +212,12 @@ pub fn rfft(input: &[f64]) -> Vec<Complex64> {
 
 /// [`rfft`] writing into a caller-provided buffer of length `n/2 + 1`;
 /// performs no heap allocation beyond thread-local scratch reuse.
+///
+/// Batched call sites should hoist [`shared_real_plan`] instead so the
+/// plan-cache lookup happens once per batch, not once per row.
 pub fn rfft_into(input: &[f64], out: &mut [Complex64]) {
-    let n = input.len();
-    assert!(n > 0, "rfft of empty signal");
-    assert_eq!(out.len(), rfft_len(n), "rfft output buffer length");
-    if n == 1 {
-        out[0] = Complex64::from_re(input[0]);
-        return;
-    }
-    if n % 2 == 0 {
-        rfft_even(input, out);
-    } else {
-        // Odd length: embed into a complex transform and keep half.
-        with_scratch(n, |buf| {
-            buf.extend(input.iter().map(|&x| Complex64::from_re(x)));
-            with_plan(n, |p| p.process(buf, Direction::Forward));
-            out.copy_from_slice(&buf[..rfft_len(n)]);
-        });
-    }
+    assert!(!input.is_empty(), "rfft of empty signal");
+    shared_real_plan(input.len()).rfft_into(input, out);
 }
 
 /// Inverse real transform: half spectrum (length `n/2 + 1`) → `n` reals,
@@ -99,86 +233,12 @@ pub fn irfft(spectrum: &[Complex64], n: usize) -> Vec<f64> {
 
 /// [`irfft`] writing into a caller-provided buffer of length `n`;
 /// performs no heap allocation beyond thread-local scratch reuse.
+///
+/// Batched call sites should hoist [`shared_real_plan`] instead so the
+/// plan-cache lookup happens once per batch, not once per row.
 pub fn irfft_into(spectrum: &[Complex64], n: usize, out: &mut [f64]) {
     assert!(n > 0, "irfft target length must be positive");
-    assert_eq!(
-        spectrum.len(),
-        rfft_len(n),
-        "spectrum length {} does not match rfft_len({n}) = {}",
-        spectrum.len(),
-        rfft_len(n)
-    );
-    assert_eq!(out.len(), n, "irfft output buffer length");
-    if n == 1 {
-        out[0] = spectrum[0].re;
-        return;
-    }
-    if n % 2 == 0 {
-        irfft_even(spectrum, n, out);
-    } else {
-        // Reconstruct the full Hermitian spectrum, then complex inverse.
-        with_scratch(n, |full| {
-            full.resize(n, Complex64::ZERO);
-            full[0] = Complex64::from_re(spectrum[0].re);
-            for k in 1..spectrum.len() {
-                full[k] = spectrum[k];
-                full[n - k] = spectrum[k].conj();
-            }
-            with_plan(n, |p| p.process(full, Direction::Inverse));
-            for (o, z) in out.iter_mut().zip(full.iter()) {
-                *o = z.re;
-            }
-        });
-    }
-}
-
-fn rfft_even(input: &[f64], out: &mut [Complex64]) {
-    let n = input.len();
-    let h = n / 2;
-    let tw = twiddles(n);
-    // Pack even samples into the real part, odd into the imaginary part.
-    with_scratch(h, |z| {
-        z.extend((0..h).map(|j| Complex64::new(input[2 * j], input[2 * j + 1])));
-        with_plan(h, |p| p.process(z, Direction::Forward));
-
-        for (k, (o, &w)) in out[..h].iter_mut().zip(tw.iter()).enumerate() {
-            let zk = z[k];
-            let zc = z[(h - k) % h].conj();
-            let e = (zk + zc) * 0.5;
-            let od = (zk - zc).mul_neg_i() * 0.5;
-            *o = e + w * od;
-        }
-        // Nyquist bin: X[n/2] = E[0] − O[0].
-        let z0 = z[0];
-        out[h] = Complex64::from_re(z0.re - z0.im);
-    });
-}
-
-fn irfft_even(spectrum: &[Complex64], n: usize, out: &mut [f64]) {
-    let h = n / 2;
-    let tw = twiddles(n);
-    // Recover the packed half-size spectrum Z[k] = E[k] + i·W^{-k}·O-part.
-    with_scratch(h, |z| {
-        for (k, &w) in tw.iter().enumerate() {
-            // Force the Hermitian-redundant components to their consistent
-            // values so stray imaginary parts in bins 0 and n/2 cannot leak.
-            let xk = if k == 0 { Complex64::from_re(spectrum[0].re) } else { spectrum[k] };
-            let xc = if k == 0 {
-                Complex64::from_re(spectrum[h].re)
-            } else {
-                spectrum[h - k].conj()
-            };
-            let e = (xk + xc) * 0.5;
-            let o = (xk - xc) * 0.5 * w.conj();
-            z.push(e + o.mul_i());
-        }
-        with_plan(h, |p| p.process(z, Direction::Inverse));
-
-        for (j, zj) in z.iter().enumerate() {
-            out[2 * j] = zj.re;
-            out[2 * j + 1] = zj.im;
-        }
-    });
+    shared_real_plan(n).irfft_into(spectrum, out);
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::param::ParamMut;
 use crate::Layer;
 
 /// `gelu(x) = 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Gelu {
     cache_input: Option<Tensor>,
 }

@@ -1,8 +1,15 @@
 //! Adam optimizer (Kingma & Ba), matching PyTorch semantics: complex
 //! parameters are optimized as independent real pairs.
 
+use rayon::prelude::*;
+
 use crate::param::ParamMut;
 use crate::Layer;
+
+/// Parameter blocks of this many entries update in parallel. The Adam
+/// update is elementwise, so block boundaries cannot change results —
+/// chunking only sets the parallel grain.
+const BLOCK: usize = 1024;
 
 /// Snapshot of an [`Adam`] optimizer's mutable state, used by training
 /// checkpoints to resume bit-identically.
@@ -67,12 +74,27 @@ impl Adam {
 
     /// Applies one update using the gradients currently accumulated in the
     /// model, then leaves the gradients untouched (call `zero_grad` next).
+    ///
+    /// Large parameter tensors update in `BLOCK`-sized chunks that may run
+    /// on worker threads; because the update is strictly elementwise the
+    /// result is bit-identical for any thread count.
     pub fn step(&mut self, model: &mut dyn Layer) {
         self.t += 1;
         let t = self.t as i32;
         let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
         let bc1 = 1.0 - b1.powi(t);
         let bc2 = 1.0 - b2.powi(t);
+
+        // Captures only scalars, so the per-block loops below can share it
+        // across worker threads.
+        let update = move |value: &mut f64, m: &mut f64, v: &mut f64, grad: f64| {
+            let g = grad + wd * *value;
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *value -= lr * mhat / (vhat.sqrt() + eps);
+        };
 
         let mut idx = 0usize;
         let m_store = &mut self.m;
@@ -87,30 +109,37 @@ impl Adam {
             let v = &mut v_store[idx];
             assert_eq!(m.len(), dof, "parameter {idx} changed size between steps");
 
-            let mut update = |j: usize, value: &mut f64, grad: f64| {
-                let g = grad + wd * *value;
-                m[j] = b1 * m[j] + (1.0 - b1) * g;
-                v[j] = b2 * v[j] + (1.0 - b2) * g * g;
-                let mhat = m[j] / bc1;
-                let vhat = v[j] / bc2;
-                *value -= lr * mhat / (vhat.sqrt() + eps);
-            };
-
             match p {
                 ParamMut::Real { value, grad } => {
-                    for (j, (val, &g)) in
-                        value.data_mut().iter_mut().zip(grad.data()).enumerate()
-                    {
-                        update(j, val, g);
-                    }
+                    value
+                        .data_mut()
+                        .par_chunks_mut(BLOCK)
+                        .zip(grad.data().par_chunks(BLOCK))
+                        .zip(m.par_chunks_mut(BLOCK))
+                        .zip(v.par_chunks_mut(BLOCK))
+                        .for_each(|(((vals, gs), ms), vs)| {
+                            for (((val, &g), mj), vj) in
+                                vals.iter_mut().zip(gs).zip(ms.iter_mut()).zip(vs.iter_mut())
+                            {
+                                update(val, mj, vj, g);
+                            }
+                        });
                 }
                 ParamMut::Complex { value, grad } => {
-                    for (k, (val, g)) in
-                        value.data_mut().iter_mut().zip(grad.data()).enumerate()
-                    {
-                        update(2 * k, &mut val.re, g.re);
-                        update(2 * k + 1, &mut val.im, g.im);
-                    }
+                    // One complex entry owns two real degrees of freedom, so
+                    // the moment blocks are twice the value/grad block size.
+                    value
+                        .data_mut()
+                        .par_chunks_mut(BLOCK)
+                        .zip(grad.data().par_chunks(BLOCK))
+                        .zip(m.par_chunks_mut(2 * BLOCK))
+                        .zip(v.par_chunks_mut(2 * BLOCK))
+                        .for_each(|(((vals, gs), ms), vs)| {
+                            for (k, (val, g)) in vals.iter_mut().zip(gs).enumerate() {
+                                update(&mut val.re, &mut ms[2 * k], &mut vs[2 * k], g.re);
+                                update(&mut val.im, &mut ms[2 * k + 1], &mut vs[2 * k + 1], g.im);
+                            }
+                        });
                 }
             }
             idx += 1;

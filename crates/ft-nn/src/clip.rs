@@ -1,14 +1,34 @@
 //! Global-norm gradient clipping (the `torch.nn.utils.clip_grad_norm_`
 //! analogue), a standard guard for long-schedule training runs.
 
+use rayon::prelude::*;
+
 use crate::param::ParamMut;
 use crate::Layer;
+
+/// Partial-sum chunk size for the norm reduction, and the parallel grain
+/// for gradient scaling. Fixed (never derived from the thread count) so the
+/// floating-point association — and therefore the norm bit pattern — is
+/// invariant to how many workers run.
+const CHUNK: usize = 4096;
 
 /// Distribution of per-parameter-tensor gradient norms (every weight and
 /// bias contributes one sample per [`global_grad_norm`] call). A fattening
 /// p99 localizes which scale of exploding gradients the clipper is
 /// fighting, where the global norm alone cannot.
 static LAYER_GRAD_NORM: ft_obs::Histogram = ft_obs::Histogram::new("nn.layer_grad_norm");
+
+/// Sum of `sq` over `data` with a fixed, data-length-only association:
+/// [`CHUNK`]-sized partials (computed possibly in parallel, collected in
+/// index order) folded sequentially. Deterministic for any thread count.
+fn chunked_sum_sq<T: Sync>(data: &[T], sq: impl Fn(&T) -> f64 + Sync) -> f64 {
+    if data.len() <= CHUNK {
+        return data.iter().map(&sq).sum();
+    }
+    let partials: Vec<f64> =
+        data.par_chunks(CHUNK).map(|c| c.iter().map(&sq).sum::<f64>()).collect();
+    partials.into_iter().sum()
+}
 
 /// Euclidean norm of all gradients in the model (complex entries contribute
 /// both components). While `ft-obs` instrumentation is enabled, each
@@ -19,8 +39,8 @@ pub fn global_grad_norm(model: &mut dyn Layer) -> f64 {
     let mut acc = 0.0;
     model.visit_params(&mut |p| {
         let sq = match p {
-            ParamMut::Real { grad, .. } => grad.data().iter().map(|g| g * g).sum::<f64>(),
-            ParamMut::Complex { grad, .. } => grad.data().iter().map(|g| g.norm_sqr()).sum::<f64>(),
+            ParamMut::Real { grad, .. } => chunked_sum_sq(grad.data(), |g| g * g),
+            ParamMut::Complex { grad, .. } => chunked_sum_sq(grad.data(), |g| g.norm_sqr()),
         };
         if observe {
             LAYER_GRAD_NORM.observe(sq.sqrt());
@@ -31,15 +51,22 @@ pub fn global_grad_norm(model: &mut dyn Layer) -> f64 {
 }
 
 /// Scales all gradients so their global norm is at most `max_norm`.
-/// Returns the pre-clip norm.
+/// Returns the pre-clip norm. The scaling is elementwise and chunk-parallel,
+/// so it is bit-identical for any thread count.
 pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f64) -> f64 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let norm = global_grad_norm(model);
     if norm > max_norm {
         let scale = max_norm / norm;
         model.visit_params(&mut |p| match p {
-            ParamMut::Real { grad, .. } => grad.scale_inplace(scale),
-            ParamMut::Complex { grad, .. } => grad.scale_inplace(scale),
+            ParamMut::Real { grad, .. } => grad
+                .data_mut()
+                .par_chunks_mut(CHUNK)
+                .for_each(|c| c.iter_mut().for_each(|g| *g *= scale)),
+            ParamMut::Complex { grad, .. } => grad
+                .data_mut()
+                .par_chunks_mut(CHUNK)
+                .for_each(|c| c.iter_mut().for_each(|g| *g *= scale)),
         });
     }
     norm

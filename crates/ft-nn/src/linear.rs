@@ -14,6 +14,7 @@ use crate::param::{Param, ParamMut};
 use crate::Layer;
 
 /// Pointwise linear layer `C_in → C_out` with bias.
+#[derive(Clone)]
 pub struct Linear {
     c_in: usize,
     c_out: usize,

@@ -13,6 +13,7 @@ use crate::param::{Param, ParamMut};
 use crate::Layer;
 
 /// Instance normalization over the spatial axes with per-channel affine.
+#[derive(Clone)]
 pub struct InstanceNorm {
     channels: usize,
     eps: f64,
@@ -23,6 +24,7 @@ pub struct InstanceNorm {
     cache: Option<Cache>,
 }
 
+#[derive(Clone)]
 struct Cache {
     /// Standardized activations x̂.
     xhat: Tensor,

@@ -4,11 +4,20 @@
 use crate::adam::Adam;
 
 /// StepLR: multiply the learning rate by `gamma` every `step_size` epochs.
+///
+/// External interventions (e.g. a health monitor halving the rate after a
+/// NaN rollback) must go through [`StepLr::scale_base`] rather than writing
+/// `opt.lr` directly: [`StepLr::step`] re-derives the rate from its own
+/// state every epoch, so a direct optimizer write would be silently
+/// reverted at the next epoch boundary.
 pub struct StepLr {
     base_lr: f64,
     gamma: f64,
     step_size: u64,
     epoch: u64,
+    /// Multiplier folded into the base rate by external interventions
+    /// (health-monitor LR halving). Survives [`StepLr::step`].
+    scale: f64,
 }
 
 impl StepLr {
@@ -17,12 +26,13 @@ impl StepLr {
     pub fn new(base_lr: f64, gamma: f64, step_size: u64) -> Self {
         assert!(step_size > 0, "step size must be positive");
         assert!(gamma > 0.0, "gamma must be positive");
-        StepLr { base_lr, gamma, step_size, epoch: 0 }
+        StepLr { base_lr, gamma, step_size, epoch: 0, scale: 1.0 }
     }
 
-    /// Learning rate for the current epoch.
+    /// Learning rate for the current epoch, including any folded-in
+    /// external scaling.
     pub fn lr(&self) -> f64 {
-        self.base_lr * self.gamma.powi((self.epoch / self.step_size) as i32)
+        self.base_lr * self.scale * self.gamma.powi((self.epoch / self.step_size) as i32)
     }
 
     /// Advances one epoch and pushes the new rate into the optimizer.
@@ -40,6 +50,26 @@ impl StepLr {
     /// optimizer; callers re-sync via [`StepLr::lr`].
     pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+    }
+
+    /// Folds an external multiplier into the base rate so it persists
+    /// across future [`StepLr::step`] calls. Used by recovery logic to
+    /// halve the rate after a rollback.
+    pub fn scale_base(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.scale *= factor;
+    }
+
+    /// The accumulated external multiplier (1.0 when never scaled).
+    pub fn base_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Restores the accumulated multiplier (checkpoint resume). Does not
+    /// touch any optimizer; callers re-sync via [`StepLr::lr`].
+    pub fn set_base_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
     }
 }
 
@@ -71,5 +101,35 @@ mod tests {
             sched.step(&mut opt);
         }
         assert_eq!(opt.lr, 0.01);
+    }
+
+    /// Regression test for the health-monitor/scheduler interaction: an
+    /// externally halved rate must survive the next epoch boundary. The
+    /// old scheduler had no `scale` state, so recovery code could only
+    /// write `opt.lr` directly — and the very next `step()` overwrote it
+    /// with the unhalved schedule, silently undoing the intervention.
+    #[test]
+    fn external_halving_survives_step() {
+        let mut sched = StepLr::new(1e-3, 0.5, 100);
+        let mut opt = Adam::new(1e-3);
+
+        // Recovery halves the effective rate mid-training.
+        sched.scale_base(0.5);
+        opt.lr = sched.lr();
+        assert!((opt.lr - 5e-4).abs() < 1e-15, "halving takes effect immediately");
+
+        // The halving persists across epoch boundaries...
+        sched.step(&mut opt);
+        assert!((opt.lr - 5e-4).abs() < 1e-15, "halving survives sched.step");
+
+        // ...and composes with the schedule's own decay (epoch 101 is one
+        // step past the first boundary, so gamma applies once).
+        sched.set_epoch(100);
+        sched.step(&mut opt);
+        assert!((opt.lr - 1e-3 * 0.5 * 0.5).abs() < 1e-18, "scale composes with gamma decay");
+
+        // A second halving stacks multiplicatively.
+        sched.scale_base(0.5);
+        assert!((sched.base_scale() - 0.25).abs() < 1e-15);
     }
 }

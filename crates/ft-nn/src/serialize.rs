@@ -320,6 +320,75 @@ pub fn restore_params(model: &mut dyn Layer, snapshot: &[ParamValue]) {
     assert_eq!(i, snapshot.len(), "snapshot length mismatch");
 }
 
+/// Captures all gradient accumulators of a model (the gradient-side
+/// counterpart of [`snapshot_params`]). Data-parallel training uses these
+/// as the per-shard contributions to the reduced batch gradient.
+pub fn snapshot_grads(model: &mut dyn Layer) -> Vec<ParamValue> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| match p {
+        ParamMut::Real { grad, .. } => out.push(ParamValue::Real(grad.clone())),
+        ParamMut::Complex { grad, .. } => out.push(ParamValue::Complex(grad.clone())),
+    });
+    out
+}
+
+/// Elementwise `acc += other` over matching snapshots. Panics on kind or
+/// shape mismatch; the addition order is exactly the argument order, so
+/// callers control the floating-point association.
+pub fn add_param_values(acc: &mut [ParamValue], other: &[ParamValue]) {
+    assert_eq!(acc.len(), other.len(), "snapshot length mismatch");
+    for (i, (a, b)) in acc.iter_mut().zip(other).enumerate() {
+        match (a, b) {
+            (ParamValue::Real(a), ParamValue::Real(b)) => {
+                assert_eq!(a.dims(), b.dims(), "snapshot shape mismatch at {i}");
+                for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+                    *x += y;
+                }
+            }
+            (ParamValue::Complex(a), ParamValue::Complex(b)) => {
+                assert_eq!(a.dims(), b.dims(), "snapshot shape mismatch at {i}");
+                for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+                    *x += *y;
+                }
+            }
+            _ => panic!("snapshot parameter kind mismatch at {i}"),
+        }
+    }
+}
+
+/// Elementwise in-place scaling of a snapshot (e.g. `1/B` gradient
+/// averaging after a tree reduction).
+pub fn scale_param_values(values: &mut [ParamValue], s: f64) {
+    for v in values {
+        match v {
+            ParamValue::Real(t) => t.scale_inplace(s),
+            ParamValue::Complex(t) => t.scale_inplace(s),
+        }
+    }
+}
+
+/// Overwrites the model's gradient accumulators with a snapshot captured by
+/// [`snapshot_grads`] (from the same architecture). Panics on any kind or
+/// shape mismatch.
+pub fn load_grads(model: &mut dyn Layer, snapshot: &[ParamValue]) {
+    let mut i = 0usize;
+    model.visit_params(&mut |p| {
+        match (&snapshot[i], p) {
+            (ParamValue::Real(v), ParamMut::Real { grad, .. }) => {
+                assert_eq!(v.dims(), grad.dims(), "snapshot shape mismatch at {i}");
+                grad.data_mut().copy_from_slice(v.data());
+            }
+            (ParamValue::Complex(v), ParamMut::Complex { grad, .. }) => {
+                assert_eq!(v.dims(), grad.dims(), "snapshot shape mismatch at {i}");
+                grad.data_mut().copy_from_slice(v.data());
+            }
+            _ => panic!("snapshot parameter kind mismatch at {i}"),
+        }
+        i += 1;
+    });
+    assert_eq!(i, snapshot.len(), "snapshot length mismatch");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,12 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+# The data-parallel determinism contract (DESIGN.md §13) is timing-
+# sensitive by nature, so the bitwise parity proptest also runs under
+# release optimizations, where reordering bugs are likeliest to surface.
+echo "==> parallel-parity proptest (release)"
+cargo test -q --release --offline -p fno-core --test parallel_parity
+
 if [ "$LINT" = 1 ]; then
     echo "==> cargo clippy (workspace, warnings are errors)"
     cargo clippy --workspace --offline -- -D warnings
@@ -38,9 +44,13 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/release/fno2dturb generate --out "$SMOKE_DIR/data.ftt" \
     --grid 16 --samples 2 --snapshots 20 --reynolds 500 --seed 1 \
     --metrics-out "$SMOKE_DIR/generate.jsonl" --bench-out "$SMOKE_DIR/BENCH_gen.json"
+# --threads 2 exercises the data-parallel batch sharding; the counters in
+# the baseline are exact for the fixed seed because the training
+# trajectory is thread-count invariant (DESIGN.md §13), and the
+# train.samples_per_sec gauge is gated one-sided (throughput class).
 ./target/release/fno2dturb train --data "$SMOKE_DIR/data.ftt" \
     --model "$SMOKE_DIR/model.fnc" --width 4 --layers 2 --modes 4 \
-    --out-channels 2 --epochs 2 --batch 4 --probe-every 1 \
+    --out-channels 2 --epochs 2 --batch 4 --probe-every 1 --threads 2 \
     --metrics-out "$SMOKE_DIR/train.jsonl" --bench-out BENCH_tier1.json
 
 echo "==> bench_compare gate (BENCH_baseline.json vs BENCH_tier1.json)"

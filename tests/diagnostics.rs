@@ -196,6 +196,78 @@ fn solver_blowup_records_event_and_dumps() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A sample count that does not divide the batch size leaves a short tail
+/// batch every epoch. Two regressions are pinned here: (a) the tail's
+/// shape must not thrash the FFT plan cache — repeating the same run adds
+/// an identical (ideally zero) number of plan misses, and the overall hit
+/// rate stays near 1; (b) the epoch mean must weight the tail batch per
+/// sample, not per batch.
+#[test]
+fn short_tail_batch_neither_thrashes_plans_nor_skews_loss() {
+    let _g = OBS_LOCK.lock().unwrap();
+    ft_obs::flight::reset();
+    ft_obs::set_enabled(true);
+
+    let counter = |name: &str| {
+        ft_obs::metrics::counter_snapshot()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+
+    // 5 samples at batch size 2 → chunks of 2, 2, 1 every epoch. lr = 0
+    // keeps the parameters bit-frozen so every batch loss is computable
+    // from the initial model.
+    let pairs = shift_pairs(5, 2, 8);
+    let cfg = TrainConfig { epochs: 1, batch_size: 2, lr: 0.0, seed: 3, ..Default::default() };
+    let run = || {
+        Trainer::new(Fno::new(tiny_cfg(2, 2), 6), cfg.clone())
+            .train(&pairs, &[])
+            .train_loss[0]
+    };
+
+    // Warm-up run populates every plan size these shapes need.
+    let _ = run();
+    let m1 = counter("fft.plan_cache.misses");
+    let loss_a = run();
+    let m2 = counter("fft.plan_cache.misses");
+    let loss_b = run();
+    let m3 = counter("fft.plan_cache.misses");
+    let hits = counter("fft.plan_cache.hits");
+
+    // No accretion: a repeated identical run pays an identical number of
+    // misses (zero when worker threads are reused), and misses stay
+    // negligible against hits — the tail shape resolves to already-cached
+    // plans instead of thrashing the cache.
+    assert_eq!(m2 - m1, m3 - m2, "plan-miss count must be stable across identical runs");
+    assert!(
+        (hits as f64) / ((hits + m3) as f64) > 0.95,
+        "plan-cache hit rate collapsed: {hits} hits vs {m3} misses"
+    );
+
+    // Frozen parameters ⇒ the epoch mean must equal the per-sample mean
+    // loss over the epoch's (shuffled) order — i.e. the short tail batch
+    // contributes exactly one sample's weight. A per-batch weighting bug
+    // would skew this by ~the spread between samples.
+    assert_eq!(loss_a.to_bits(), loss_b.to_bits(), "lr = 0 runs are bit-identical");
+    use fno2d_turbulence::nn::RelativeL2;
+    let model = Fno::new(tiny_cfg(2, 2), 6);
+    let per_sample: Vec<f64> = (0..pairs.len())
+        .map(|i| {
+            let (x, y) =
+                fno2d_turbulence::fno::batch_of(&pairs, &[i], FnoKind::TwoDChannels);
+            RelativeL2::value(&model.infer(&x), &y)
+        })
+        .collect();
+    let expected = per_sample.iter().sum::<f64>() / pairs.len() as f64;
+    assert!(
+        (loss_a - expected).abs() < 1e-12 * expected.abs().max(1.0),
+        "epoch mean {loss_a} must be the per-sample mean {expected}"
+    );
+    ft_obs::flight::reset();
+}
+
 /// The committed baseline compared against itself passes the gate
 /// (exit 0) — the invariant `scripts/ci.sh` relies on.
 #[test]

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use fno2d_turbulence::data::Pair;
 use fno2d_turbulence::fno::config::{FnoConfig, FnoKind};
 use fno2d_turbulence::fno::{
-    CheckpointConfig, Fno, ForecastModel, RecoveryCause, TrainConfig, Trainer,
+    Checkpoint, CheckpointConfig, Fno, ForecastModel, RecoveryCause, TrainConfig, Trainer,
 };
 use fno2d_turbulence::lbm::{Lbm, LbmConfig};
 use fno2d_turbulence::ns::{ArakawaNs, PdeSolver, SolverError, SpectralNs};
@@ -142,6 +142,73 @@ fn nan_batch_rolls_back_and_halves_lr() {
     let mut model = trainer.into_model();
     let snap = fno2d_turbulence::nn::snapshot_params(&mut model);
     assert!(!snap.is_empty());
+}
+
+#[test]
+fn adam_timestep_survives_rollback_and_resume() {
+    // A NaN rollback restores the optimizer state captured at the epoch
+    // start — including Adam's bias-correction timestep `t` — and the
+    // retry re-runs only the surviving batches. `t` must therefore equal
+    // the number of surviving optimizer steps exactly (no double-advance),
+    // and a run resumed from a checkpoint written *after* a rollback must
+    // reproduce the uninterrupted run bit-for-bit.
+    let mut pairs = shift_pairs(8, 2, 2, 8);
+    pairs[3].input = Tensor::from_fn(&[2, 8, 8], |_| f64::NAN);
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 2,
+        lr: 2e-3,
+        seed: 5,
+        max_recoveries: 8,
+        ..Default::default()
+    };
+
+    // Reference: one uninterrupted run, checkpointing every epoch.
+    let dir_a = tmpdir("adam_t_full");
+    let mut full = Trainer::new(Fno::new(tiny_cfg(2, 2), 7), cfg.clone())
+        .with_checkpointing(CheckpointConfig::new(&dir_a, 1));
+    let full_report = full.train(&pairs, &pairs[..1]);
+    let mut full_model = full.into_model();
+    // The poisoned sample trips the monitor once per epoch (the skip list
+    // resets with each reshuffle).
+    assert_eq!(full_report.recoveries.len(), 4, "one rollback per epoch");
+
+    // 4 batches per epoch, exactly one of which is excluded after its
+    // rollback: 3 surviving steps per epoch. Any double-advance of `t`
+    // across the retry would break this count.
+    let ck = Checkpoint::load(dir_a.join("latest.ftc")).unwrap();
+    assert_eq!(ck.adam.t, 3 * 4, "Adam t must count only surviving steps");
+
+    // Killed after epoch 2 (one rollback already behind the checkpoint),
+    // then resumed to completion: bitwise parity with the reference.
+    let dir_b = tmpdir("adam_t_killed");
+    let mut killed =
+        Trainer::new(Fno::new(tiny_cfg(2, 2), 7), TrainConfig { epochs: 2, ..cfg.clone() })
+            .with_checkpointing(CheckpointConfig::new(&dir_b, 1));
+    killed.train(&pairs, &pairs[..1]);
+    let mut resumed = Trainer::new(Fno::new(tiny_cfg(2, 2), 7), cfg)
+        .resume_from(dir_b.join("epoch-00002.ftc"))
+        .expect("checkpoint loads");
+    let resumed_report = resumed.train(&pairs, &pairs[..1]);
+    let mut resumed_model = resumed.into_model();
+
+    assert_eq!(full_report.train_loss.len(), resumed_report.train_loss.len());
+    for (a, b) in full_report.train_loss.iter().zip(&resumed_report.train_loss) {
+        assert_eq!(a.to_bits(), b.to_bits(), "loss trajectory must survive resume");
+    }
+    assert_eq!(full_report.recoveries, resumed_report.recoveries);
+    assert_eq!(
+        weight_bytes(&mut full_model),
+        weight_bytes(&mut resumed_model),
+        "weights after resume-through-rollback must match bit-for-bit"
+    );
+    // The killed run's final checkpoint carries the half-way timestep: two
+    // epochs of three surviving steps each.
+    let ck_b = Checkpoint::load(dir_b.join("latest.ftc")).unwrap();
+    assert_eq!(ck_b.adam.t, 3 * 2, "checkpointed t counts only surviving steps");
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
 }
 
 #[test]
